@@ -1,0 +1,87 @@
+// Ablation study over the design choices DESIGN.md calls out, on the
+// Example-1 batch and the stacked batch:
+//   - eager group-by exploration (generates the pre-aggregated candidates
+//     E4/E5; without it only join CSEs exist),
+//   - the §4.2 range-hull covering-predicate simplification (vs literal OR),
+//   - stacked CSE matching (§5.5),
+//   - index access paths (index scans + index nested-loop joins),
+//   - heuristic pruning (§4.3).
+#include "bench_common.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  void (*apply)(subshare::QueryOptions*);
+};
+
+void Full(subshare::QueryOptions*) {}
+void NoEager(subshare::QueryOptions* o) {
+  o->cse.optimizer.explore.enable_eager_groupby = false;
+}
+void NoHull(subshare::QueryOptions* o) { o->cse.enable_range_hull = false; }
+void NoStacked(subshare::QueryOptions* o) { o->cse.enable_stacked = false; }
+void NoIndexes(subshare::QueryOptions* o) {
+  o->cse.optimizer.enable_index_scans = false;
+}
+void NoHeuristics(subshare::QueryOptions* o) {
+  o->cse.enable_heuristics = false;
+}
+void NoCse(subshare::QueryOptions* o) { o->cse.enable_cse = false; }
+
+const Variant kVariants[] = {
+    {"full", Full},           {"no-eager-groupby", NoEager},
+    {"no-range-hull", NoHull}, {"no-stacked", NoStacked},
+    {"no-indexes", NoIndexes}, {"no-heuristics", NoHeuristics},
+    {"no-cse", NoCse},
+};
+
+}  // namespace
+
+int main() {
+  using namespace subshare;
+  using namespace subshare::bench;
+
+  Database db;
+  double sf = ScaleFactor();
+  CHECK(db.LoadTpch(sf).ok());
+  printf("bench_ablation: design-choice ablations, TPC-H SF=%.3f\n", sf);
+
+  struct Workload {
+    const char* name;
+    std::string batch;
+  } workloads[] = {
+      {"Example 1 batch", Example1Batch()},
+      {"stacked batch (Q1..Q4)", Example1Batch() + "; " + Q4()},
+  };
+
+  for (const Workload& w : workloads) {
+    printf("\n--- %s ---\n", w.name);
+    printf("%-18s %10s %12s %12s %8s %6s\n", "variant", "#cand",
+           "est cost", "exec (s)", "opt (s)", "used");
+    for (const Variant& v : kVariants) {
+      QueryOptions options;
+      v.apply(&options);
+      QueryOptions plan_only = options;
+      plan_only.execute = false;
+      auto planned = db.Execute(w.batch, plan_only);
+      CHECK(planned.ok()) << planned.status().ToString();
+      double best = 1e300;
+      for (int r = 0; r < 2; ++r) {
+        auto run = db.Execute(w.batch, options);
+        CHECK(run.ok());
+        best = std::min(best, run->execution.elapsed_seconds);
+      }
+      printf("%-18s %10d %12.0f %12.4f %8.4f %6d\n", v.name,
+             planned->metrics.candidates_after_pruning,
+             planned->metrics.final_cost, best,
+             planned->metrics.optimize_seconds, planned->metrics.used_cses);
+    }
+  }
+  printf(
+      "\nreading guide: 'no-eager-groupby' loses the pre-aggregated E4/E5 "
+      "candidates (join-only CSEs remain); 'no-range-hull' keeps the OR'd "
+      "covering predicate; 'no-heuristics' explores every candidate subset "
+      "(more optimizations, same plan quality on these workloads).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "bench_common.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace subshare::bench {
+
+std::string ScaleupQuery(int i) {
+  // Deterministic family: joins of customer/orders/lineitem with rotating
+  // predicates, grouping columns, and optional nation/region joins.
+  const char* group_cols[] = {"c_nationkey", "c_mktsegment",
+                              "c_nationkey, c_mktsegment"};
+  const char* dates[] = {"1995-07-01", "1996-07-01", "1997-07-01",
+                         "1996-01-01"};
+  int lo = (i * 2) % 10;
+  int hi = 15 + (i * 3) % 10;
+  std::string sql;
+  if (i % 4 == 3) {
+    // Variant joining nation (and region every other time).
+    bool with_region = (i % 8) == 7;
+    sql = "select n_regionkey, sum(l_extendedprice) as le, "
+          "sum(l_quantity) as lq from customer, orders, lineitem, nation";
+    if (with_region) sql += ", region";
+    sql += StrFormat(
+        " where c_custkey = o_custkey and o_orderkey = l_orderkey "
+        "and c_nationkey = n_nationkey%s and o_orderdate < '%s' "
+        "and c_nationkey > %d and c_nationkey < %d group by n_regionkey",
+        with_region ? " and n_regionkey = r_regionkey" : "", dates[i % 4],
+        lo, hi + 5);
+    return sql;
+  }
+  return StrFormat(
+      "select %s, sum(l_extendedprice) as le, sum(l_quantity) as lq "
+      "from customer, orders, lineitem "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "and o_orderdate < '%s' and c_nationkey > %d and c_nationkey < %d "
+      "group by %s",
+      group_cols[i % 3], dates[i % 4], lo, hi + 5, group_cols[i % 3]);
+}
+
+std::string ScaleupBatch(int n) {
+  std::string batch;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) batch += "; ";
+    batch += ScaleupQuery(i);
+  }
+  return batch;
+}
+
+std::string ComplexJoinQuery(int variant) {
+  const char* date = variant == 0 ? "1997-01-01" : "1995-06-01";
+  int size = variant == 0 ? 30 : 25;
+  const char* extra = variant == 0 ? "c_acctbal > 0" : "c_acctbal > -500";
+  return StrFormat(
+      "select r_name, sum(l_extendedprice) as le, sum(ps_supplycost) as sc "
+      "from region, nation, supplier, customer, orders, lineitem, part, "
+      "partsupp "
+      "where r_regionkey = n_regionkey and n_nationkey = c_nationkey "
+      "and c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "and l_partkey = p_partkey and l_suppkey = s_suppkey "
+      "and ps_partkey = p_partkey and ps_suppkey = s_suppkey "
+      "and o_orderdate < '%s' and p_size < %d and %s "
+      "group by r_name",
+      date, size, extra);
+}
+
+ConfigResult RunConfig(Database* db, const std::string& label,
+                       const std::string& batch, bool enable_cse,
+                       bool heuristics, int exec_repeats) {
+  QueryOptions options;
+  options.cse.enable_cse = enable_cse;
+  options.cse.enable_heuristics = heuristics;
+
+  ConfigResult result;
+  result.label = label;
+
+  // Optimize once (without executing) to time planning alone.
+  QueryOptions plan_only = options;
+  plan_only.execute = false;
+  WallTimer opt_timer;
+  auto planned = db->Execute(batch, plan_only);
+  CHECK(planned.ok()) << planned.status().ToString();
+  result.optimize_seconds = planned->metrics.optimize_seconds;
+  result.estimated_cost = planned->metrics.final_cost;
+  result.candidates = enable_cse
+                          ? planned->metrics.candidates_after_pruning
+                          : 0;
+  result.cse_optimizations = planned->metrics.cse_optimizations;
+  result.used_cses = planned->metrics.used_cses;
+
+  // Execute (optimize+run) and keep the best execution wall time.
+  double best = 1e300;
+  for (int r = 0; r < exec_repeats; ++r) {
+    auto run = db->Execute(batch, options);
+    CHECK(run.ok()) << run.status().ToString();
+    best = std::min(best, run->execution.elapsed_seconds);
+  }
+  result.execute_seconds = best;
+  return result;
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<ConfigResult>& configs) {
+  printf("\n=== %s ===\n", title.c_str());
+  printf("%-28s", "");
+  for (const ConfigResult& c : configs) printf("%22s", c.label.c_str());
+  printf("\n");
+  printf("%-28s", "# of CSEs [CSE Opt]");
+  for (const ConfigResult& c : configs) {
+    printf("%22s",
+           StrFormat("%d [%d]", c.candidates, c.cse_optimizations).c_str());
+  }
+  printf("\n");
+  printf("%-28s", "Optimization time (secs)");
+  for (const ConfigResult& c : configs) {
+    printf("%22.4f", c.optimize_seconds);
+  }
+  printf("\n");
+  printf("%-28s", "Estimated cost");
+  for (const ConfigResult& c : configs) printf("%22.2f", c.estimated_cost);
+  printf("\n");
+  printf("%-28s", "Execution time (secs)");
+  for (const ConfigResult& c : configs) printf("%22.4f", c.execute_seconds);
+  printf("\n");
+  printf("%-28s", "CSEs used in final plan");
+  for (const ConfigResult& c : configs) printf("%22d", c.used_cses);
+  printf("\n");
+}
+
+}  // namespace subshare::bench

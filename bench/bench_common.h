@@ -1,0 +1,106 @@
+// Shared workloads and reporting helpers for the paper-reproduction
+// benchmarks. Every bench binary prints the paper's table/figure rows plus
+// the paper's reported values for shape comparison (absolute numbers are
+// hardware- and scale-dependent; see EXPERIMENTS.md).
+#ifndef SUBSHARE_BENCH_BENCH_COMMON_H_
+#define SUBSHARE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "util/timer.h"
+
+namespace subshare::bench {
+
+// Scale factor for benchmark databases; override with SUBSHARE_SF.
+inline double ScaleFactor(double fallback = 0.02) {
+  const char* env = std::getenv("SUBSHARE_SF");
+  if (env != nullptr) {
+    double sf = std::atof(env);
+    if (sf > 0) return sf;
+  }
+  return fallback;
+}
+
+// The paper's Example 1 queries (predicates as used for E5 and §6.1's
+// rewritten queries).
+inline std::string Q1() {
+  return "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, "
+         "sum(l_quantity) as lq from customer, orders, lineitem "
+         "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+         "and o_orderdate < '1996-07-01' and c_nationkey > 0 "
+         "and c_nationkey < 20 group by c_nationkey, c_mktsegment";
+}
+inline std::string Q2() {
+  return "select c_nationkey, sum(l_extendedprice) as le, "
+         "sum(l_quantity) as lq from customer, orders, lineitem "
+         "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+         "and o_orderdate < '1996-07-01' and c_nationkey > 5 "
+         "and c_nationkey < 25 group by c_nationkey";
+}
+inline std::string Q3() {
+  return "select n_regionkey, sum(l_extendedprice) as le, "
+         "sum(l_quantity) as lq from customer, orders, lineitem, nation "
+         "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+         "and c_nationkey = n_nationkey and o_orderdate < '1996-07-01' "
+         "and c_nationkey > 2 and c_nationkey < 24 group by n_regionkey";
+}
+// §6.2's additional query (the paper's Q4, adapted to our schema: the
+// original text aggregates part availability over the part⨝orders⨝lineitem
+// join).
+inline std::string Q4() {
+  return "select p_type, sum(l_quantity) as qty from part, orders, lineitem "
+         "where p_partkey = l_partkey and o_orderkey = l_orderkey "
+         "and o_orderdate < '1996-07-01' group by p_type";
+}
+inline std::string Example1Batch() { return Q1() + "; " + Q2() + "; " + Q3(); }
+
+// §6.3's nested query (similar to TPC-H Q11).
+inline std::string NestedQuery() {
+  return "select c_nationkey, n_name, sum(l_discount) as totaldisc "
+         "from customer, orders, lineitem, nation "
+         "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+         "and c_nationkey = n_nationkey "
+         "group by c_nationkey, n_name "
+         "having sum(l_discount) > (select sum(l_discount) / 25 "
+         "from customer, orders, lineitem "
+         "where c_custkey = o_custkey and o_orderkey = l_orderkey) "
+         "order by totaldisc desc";
+}
+
+// §6.5 scale-up batches: like Q1/Q2/Q3 with varying predicates, grouping
+// columns, and optional nation/region joins.
+std::string ScaleupQuery(int i);
+std::string ScaleupBatch(int n);
+
+// §6.5's complex-join experiment: eight-table TPC-H joins aggregated by
+// region, with differing local predicates.
+std::string ComplexJoinQuery(int variant);
+
+// One experiment configuration result.
+struct ConfigResult {
+  std::string label;
+  int candidates = 0;       // after pruning (or generated for no-pruning)
+  int cse_optimizations = 0;
+  double optimize_seconds = 0;
+  double estimated_cost = 0;
+  double execute_seconds = 0;
+  int used_cses = 0;
+};
+
+// Runs a batch under one configuration, executing `exec_repeats` times and
+// keeping the best wall time.
+ConfigResult RunConfig(Database* db, const std::string& label,
+                       const std::string& batch, bool enable_cse,
+                       bool heuristics, int exec_repeats = 3);
+
+// Prints a paper-style comparison table.
+void PrintTable(const std::string& title,
+                const std::vector<ConfigResult>& configs);
+
+}  // namespace subshare::bench
+
+#endif  // SUBSHARE_BENCH_BENCH_COMMON_H_

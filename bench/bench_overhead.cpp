@@ -1,0 +1,93 @@
+// Reproduces the §6 overhead measurement: for queries with no sharing
+// opportunities, the cost of the signature/CSE machinery should be too
+// small to measure reliably ("the overhead was so small that we could not
+// reliably measure it").
+//
+// Uses google-benchmark to time full optimization with the CSE phase
+// enabled vs disabled on single TPC-H-style queries without similar
+// subexpressions, plus a micro-benchmark of signature computation itself.
+#include <benchmark/benchmark.h>
+
+#include "core/cse_optimizer.h"
+#include "core/signature.h"
+#include "sql/binder.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+namespace {
+
+Catalog* SharedCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.005;
+    CHECK(tpch::LoadTpch(c, opts).ok());
+    return c;
+  }();
+  return catalog;
+}
+
+const char* kNoSharingQueries[] = {
+    // TPC-H Q1-style aggregation over one table.
+    "select l_returnflag, l_linestatus, sum(l_quantity) as q, "
+    "sum(l_extendedprice) as p, count(*) as n from lineitem "
+    "where l_shipdate < '1998-09-02' group by l_returnflag, l_linestatus",
+    // TPC-H Q3-style three-way join.
+    "select o_orderkey, sum(l_extendedprice) as revenue from customer, "
+    "orders, lineitem where c_mktsegment = 'BUILDING' "
+    "and c_custkey = o_custkey and l_orderkey = o_orderkey "
+    "and o_orderdate < '1995-03-15' group by o_orderkey",
+    // TPC-H Q5-style six-way join.
+    "select n_name, sum(l_extendedprice) as revenue from customer, orders, "
+    "lineitem, supplier, nation, region where c_custkey = o_custkey "
+    "and l_orderkey = o_orderkey and l_suppkey = s_suppkey "
+    "and c_nationkey = s_nationkey and s_nationkey = n_nationkey "
+    "and n_regionkey = r_regionkey and r_name = 'ASIA' "
+    "and o_orderdate < '1995-01-01' group by n_name",
+};
+
+void OptimizeOnce(const std::string& sql, bool enable_cse) {
+  QueryContext ctx(SharedCatalog());
+  auto stmts = sql::BindSql(sql, &ctx);
+  CHECK(stmts.ok());
+  CseOptimizerOptions options;
+  options.enable_cse = enable_cse;
+  CseQueryOptimizer optimizer(&ctx, options);
+  CseMetrics metrics;
+  benchmark::DoNotOptimize(optimizer.Optimize(*stmts, &metrics));
+  CHECK(metrics.used_cses == 0);
+}
+
+void BM_OptimizeNoCseMachinery(benchmark::State& state) {
+  const std::string sql = kNoSharingQueries[state.range(0)];
+  for (auto _ : state) OptimizeOnce(sql, /*enable_cse=*/false);
+}
+BENCHMARK(BM_OptimizeNoCseMachinery)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_OptimizeWithCseMachinery(benchmark::State& state) {
+  const std::string sql = kNoSharingQueries[state.range(0)];
+  for (auto _ : state) OptimizeOnce(sql, /*enable_cse=*/true);
+}
+BENCHMARK(BM_OptimizeWithCseMachinery)->Arg(0)->Arg(1)->Arg(2);
+
+// Micro: computing table signatures over a fully explored memo.
+void BM_SignatureComputation(benchmark::State& state) {
+  QueryContext ctx(SharedCatalog());
+  auto stmts = sql::BindSql(kNoSharingQueries[state.range(0)], &ctx);
+  CHECK(stmts.ok());
+  Optimizer opt(&ctx);
+  opt.BuildAndExplore(*stmts);
+  for (auto _ : state) {
+    std::vector<TableSignature> sigs;
+    ComputeSignatures(opt.memo(), &sigs);
+    benchmark::DoNotOptimize(sigs);
+  }
+  state.counters["memo_groups"] =
+      static_cast<double>(opt.memo().num_groups());
+}
+BENCHMARK(BM_SignatureComputation)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace subshare
+
+BENCHMARK_MAIN();

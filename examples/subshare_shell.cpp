@@ -1,0 +1,98 @@
+// Interactive shell: type SQL batches against the TPC-H database and watch
+// the CSE optimizer work. A ';;' on its own line (or EOF) submits the
+// accumulated batch, so multi-statement batches can be entered across
+// lines.
+//
+//   $ ./examples/subshare_shell [scale_factor]
+//   subshare> select count(*) from orders
+//   subshare> ;;
+//
+// Commands: \plan on|off (show plans), \cse on|off, \heuristics on|off,
+// \quit.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "api/database.h"
+
+int main(int argc, char** argv) {
+  using namespace subshare;
+
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  Database db;
+  Status st = db.LoadTpch(sf);
+  CHECK(st.ok()) << st.ToString();
+  printf("SubShare shell — TPC-H SF=%.3f loaded "
+         "(tables: region nation supplier part partsupp customer orders "
+         "lineitem)\n", sf);
+  printf("End a batch with ';;' on its own line. \\quit to exit.\n\n");
+
+  bool show_plan = false;
+  QueryOptions options;
+
+  std::string batch;
+  std::string line;
+  printf("subshare> ");
+  fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\plan on" || line == "\\plan off") {
+      show_plan = line.back() == 'n';
+      printf("plan display %s\nsubshare> ", show_plan ? "on" : "off");
+      fflush(stdout);
+      continue;
+    }
+    if (line == "\\cse on" || line == "\\cse off") {
+      options.cse.enable_cse = line.back() == 'n';
+      printf("CSE exploitation %s\nsubshare> ",
+             options.cse.enable_cse ? "on" : "off");
+      fflush(stdout);
+      continue;
+    }
+    if (line == "\\heuristics on" || line == "\\heuristics off") {
+      options.cse.enable_heuristics = line.back() == 'n';
+      printf("heuristic pruning %s\nsubshare> ",
+             options.cse.enable_heuristics ? "on" : "off");
+      fflush(stdout);
+      continue;
+    }
+    if (line != ";;") {
+      batch += line + "\n";
+      printf("     ...> ");
+      fflush(stdout);
+      continue;
+    }
+    if (batch.find_first_not_of(" \t\n") == std::string::npos) {
+      batch.clear();
+      printf("subshare> ");
+      fflush(stdout);
+      continue;
+    }
+    auto result = db.Execute(batch, options);
+    batch.clear();
+    if (!result.ok()) {
+      printf("error: %s\nsubshare> ", result.status().ToString().c_str());
+      fflush(stdout);
+      continue;
+    }
+    if (show_plan) printf("%s\n", result->plan_text.c_str());
+    if (result->metrics.used_cses > 0) {
+      printf("[shared %d covering subexpression(s); estimated cost "
+             "%.0f vs %.0f unshared]\n",
+             result->metrics.used_cses, result->metrics.final_cost,
+             result->metrics.normal_cost);
+    }
+    for (size_t i = 0; i < result->statements.size(); ++i) {
+      printf("%s\n",
+             Database::FormatResult(result->statements[i],
+                                    result->column_names[i], 25)
+                 .c_str());
+    }
+    printf("(%.1f ms optimize, %.1f ms execute)\nsubshare> ",
+           result->metrics.optimize_seconds * 1e3,
+           result->execution.elapsed_seconds * 1e3);
+    fflush(stdout);
+  }
+  printf("\nbye\n");
+  return 0;
+}

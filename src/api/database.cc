@@ -1,0 +1,82 @@
+#include "api/database.h"
+
+#include "exec/naive_planner.h"
+#include "sql/binder.h"
+#include "util/string_util.h"
+
+namespace subshare {
+
+Status Database::LoadTpch(double scale_factor, uint64_t seed) {
+  tpch::TpchOptions options;
+  options.scale_factor = scale_factor;
+  options.seed = seed;
+  return tpch::LoadTpch(&catalog_, options);
+}
+
+StatusOr<Table*> Database::CreateTable(const std::string& name,
+                                       Schema schema) {
+  return catalog_.CreateTable(name, std::move(schema));
+}
+
+StatusOr<QueryResult> Database::Execute(const std::string& sql,
+                                        const QueryOptions& options) {
+  QueryContext ctx(&catalog_);
+  ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                   sql::BindSql(sql, &ctx));
+
+  QueryResult result;
+  for (const Statement& s : statements) {
+    result.column_names.push_back(s.output_names);
+  }
+
+  ExecutablePlan plan;
+  if (options.use_naive_plan) {
+    plan = NaivePlanBatch(statements, &ctx);
+  } else {
+    CseQueryOptimizer optimizer(&ctx, options.cse);
+    plan = optimizer.Optimize(statements, &result.metrics);
+  }
+  result.plan_text = plan.ToString(ctx.Namer());
+
+  // EXPLAIN: any explain-flagged statement turns the whole batch into a
+  // plan-only request whose single result is the rendered plan.
+  bool explain = false;
+  for (const Statement& s : statements) explain |= s.explain;
+  if (explain) {
+    result.column_names.assign(1, {"plan"});
+    StatementResult text;
+    for (const std::string& line : Split(result.plan_text, '\n')) {
+      text.rows.push_back({Value::String(line)});
+    }
+    result.statements.push_back(std::move(text));
+    return result;
+  }
+
+  if (options.execute) {
+    result.statements = ExecutePlan(plan, &result.execution);
+  }
+  return result;
+}
+
+std::string Database::FormatResult(const StatementResult& result,
+                                   const std::vector<std::string>& columns,
+                                   int max_rows) {
+  std::string out = Join(columns, " | ") + "\n";
+  out += std::string(out.size() - 1, '-') + "\n";
+  int shown = 0;
+  for (const Row& row : result.rows) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%d rows total)\n",
+                       static_cast<int>(result.rows.size()));
+      return out;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(v.ToString());
+    out += Join(cells, " | ") + "\n";
+  }
+  out += StrFormat("(%d rows)\n", static_cast<int>(result.rows.size()));
+  return out;
+}
+
+}  // namespace subshare

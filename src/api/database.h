@@ -1,0 +1,61 @@
+// Public facade: a Database owns a catalog and executes SQL batches through
+// the CSE-aware optimizer. This is the entry point examples and benchmarks
+// use.
+#ifndef SUBSHARE_API_DATABASE_H_
+#define SUBSHARE_API_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/cse_optimizer.h"
+#include "exec/executor.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+
+struct QueryOptions {
+  CseOptimizerOptions cse;
+  bool execute = true;       // false: optimize only (planning benchmarks)
+  bool use_naive_plan = false;  // bypass the optimizer (reference runs)
+};
+
+struct QueryResult {
+  std::vector<StatementResult> statements;
+  std::vector<std::vector<std::string>> column_names;  // per statement
+  CseMetrics metrics;           // optimization metrics
+  ExecutionMetrics execution;   // runtime metrics
+  std::string plan_text;        // EXPLAIN-style rendering
+};
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  // Loads the TPC-H substrate at the given scale factor.
+  Status LoadTpch(double scale_factor = 0.01, uint64_t seed = 20070611);
+
+  // Creates an empty user table.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+
+  // Parses, binds, optimizes (with CSE exploitation per `options`) and
+  // executes a ';'-separated batch.
+  StatusOr<QueryResult> Execute(const std::string& sql,
+                                const QueryOptions& options = {});
+
+  // Renders a result table ("col | col | ..." plus rows) for examples.
+  static std::string FormatResult(const StatementResult& result,
+                                  const std::vector<std::string>& columns,
+                                  int max_rows = 20);
+
+ private:
+  Catalog catalog_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_API_DATABASE_H_

@@ -1,0 +1,70 @@
+#include "catalog/catalog.h"
+
+namespace subshare {
+
+StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name, std::move(schema)));
+  by_name_[name] = id;
+  return tables_.back().get();
+}
+
+StatusOr<Table*> Catalog::CreateDeltaTable(const std::string& base_name) {
+  Table* base = GetTable(base_name);
+  if (base == nullptr) {
+    return Status::NotFound("no base table '" + base_name + "'");
+  }
+  std::string delta_name = "@delta_" + base_name;
+  if (Table* existing = GetTable(delta_name); existing != nullptr) {
+    existing->Clear();
+    return existing;
+  }
+  auto created = CreateTable(delta_name, base->schema());
+  if (!created.ok()) return created.status();
+  delta_to_base_[(*created)->id()] = base->id();
+  return *created;
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+Table* Catalog::GetTable(TableId id) {
+  if (id < 0 || id >= static_cast<TableId>(tables_.size())) return nullptr;
+  return tables_[id] ? tables_[id].get() : nullptr;
+}
+
+const Table* Catalog::GetTable(TableId id) const {
+  if (id < 0 || id >= static_cast<TableId>(tables_.size())) return nullptr;
+  return tables_[id] ? tables_[id].get() : nullptr;
+}
+
+bool Catalog::IsDeltaTable(TableId id, TableId* base) const {
+  auto it = delta_to_base_.find(id);
+  if (it == delta_to_base_.end()) return false;
+  if (base != nullptr) *base = it->second;
+  return true;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  // Keep the id slot (ids are stable); release the storage.
+  tables_[it->second].reset();
+  delta_to_base_.erase(it->second);
+  by_name_.erase(it);
+  return Status::Ok();
+}
+
+}  // namespace subshare

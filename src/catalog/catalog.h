@@ -1,0 +1,53 @@
+// The catalog: name -> table resolution and table-id assignment.
+//
+// Delta tables (for materialized-view maintenance, paper §6.4) are ordinary
+// catalog tables flagged as deltas of a base table; table signatures treat
+// them as distinct source tables.
+#ifndef SUBSHARE_CATALOG_CATALOG_H_
+#define SUBSHARE_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace subshare {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Creates an empty table; fails if the name exists.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+
+  // Creates (or clears and returns) the delta table shadowing `base`,
+  // named "@delta_<base>" with the same schema.
+  StatusOr<Table*> CreateDeltaTable(const std::string& base_name);
+
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  Table* GetTable(TableId id);
+  const Table* GetTable(TableId id) const;
+
+  // True if `id` names a delta table; `base` receives the base table id.
+  bool IsDeltaTable(TableId id, TableId* base = nullptr) const;
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }
+
+  Status DropTable(const std::string& name);
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;  // index == TableId
+  std::unordered_map<std::string, TableId> by_name_;
+  std::unordered_map<TableId, TableId> delta_to_base_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CATALOG_CATALOG_H_

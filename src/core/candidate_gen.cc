@@ -1,0 +1,389 @@
+#include "core/candidate_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/implication.h"
+#include "optimizer/cost_model.h"
+#include "util/string_util.h"
+
+namespace subshare {
+
+namespace {
+
+bool ContainsExpr(const std::vector<ExprPtr>& list, const ExprPtr& e) {
+  for (const ExprPtr& x : list) {
+    if (ExprEquals(x, e)) return true;
+  }
+  return false;
+}
+
+bool IsRangeConjunctOn(const ExprPtr& e, ColId col) {
+  ColId c;
+  CmpOp op;
+  Value v;
+  if (!IsColumnVsConstant(e, &c, &op, &v)) return false;
+  return c == col && op != CmpOp::kNe;
+}
+
+}  // namespace
+
+CseSpec CandidateGenerator::BuildSpec(
+    const std::vector<SpjgNormalForm>& consumers,
+    const std::vector<int>& members) {
+  CHECK(!members.empty());
+  const ColumnRegistry& reg = manager_->ctx()->columns();
+  auto type_of = [&](ColId c) { return reg.info(c).type; };
+
+  CseSpec spec;
+  spec.signature = consumers[members[0]].signature;
+  for (int m : members) {
+    spec.consumers.push_back(consumers[m].group);
+  }
+  spec.has_groupby = spec.signature.has_groupby;
+
+  // 1. Intersected equivalence classes -> N-ary join predicate.
+  spec.eq = consumers[members[0]].canon_eq;
+  for (size_t i = 1; i < members.size(); ++i) {
+    spec.eq = EquivalenceClasses::Intersect(spec.eq,
+                                            consumers[members[i]].canon_eq);
+  }
+  spec.conjuncts = spec.eq.ToConjuncts(type_of);
+
+  // 2. Simplify each consumer's predicate against the join predicate.
+  std::vector<std::vector<ExprPtr>> residuals;
+  for (int m : members) {
+    std::vector<ExprPtr> residual;
+    for (const ExprPtr& conj : consumers[m].canon_conjuncts) {
+      ColId a, b;
+      if (IsColumnEquality(conj, &a, &b) && spec.eq.AreEquivalent(a, b)) {
+        continue;  // part of the common join predicate
+      }
+      residual.push_back(conj);
+    }
+    residuals.push_back(std::move(residual));
+  }
+
+  // 3a. Factor conjuncts common to every consumer.
+  if (!residuals.empty()) {
+    std::vector<ExprPtr> common;
+    for (const ExprPtr& conj : residuals[0]) {
+      bool everywhere = true;
+      for (size_t i = 1; i < residuals.size(); ++i) {
+        everywhere &= ContainsExpr(residuals[i], conj);
+      }
+      if (everywhere) common.push_back(conj);
+    }
+    for (const ExprPtr& conj : common) {
+      spec.conjuncts.push_back(conj);
+      for (std::vector<ExprPtr>& r : residuals) {
+        r.erase(std::remove_if(
+                    r.begin(), r.end(),
+                    [&](const ExprPtr& x) { return ExprEquals(x, conj); }),
+                r.end());
+      }
+    }
+  }
+
+  // Columns needing compensation later: everything still in the residuals.
+  std::set<ColId> covering_cols;
+  for (const std::vector<ExprPtr>& r : residuals) {
+    for (const ExprPtr& conj : r) CollectColumns(conj, &covering_cols);
+  }
+
+  // 3b. Single-column range hulls: a column constrained by ranges in every
+  // residual gets the widened hull range; per-consumer ranges become
+  // compensation. This is the simplification that turns
+  //   (0<nk<20) OR (5<nk<25) OR (2<nk<24)  into  0 < nk < 25.
+  std::set<ColId> hullable;
+  if (!options_.enable_range_hull) {
+    // Ablation mode: skip the hull simplification; the OR'd covering
+    // predicate below carries the per-consumer ranges instead.
+  } else
+  for (const ExprPtr& conj : residuals.empty() ? std::vector<ExprPtr>{}
+                                               : residuals[0]) {
+    ColId c;
+    CmpOp op;
+    Value v;
+    if (IsColumnVsConstant(conj, &c, &op, &v) && op != CmpOp::kNe) {
+      hullable.insert(c);
+    }
+  }
+  for (ColId col : hullable) {
+    bool everywhere = true;
+    for (const std::vector<ExprPtr>& r : residuals) {
+      bool has = false;
+      for (const ExprPtr& conj : r) has |= IsRangeConjunctOn(conj, col);
+      everywhere &= has;
+    }
+    if (!everywhere) continue;
+    ValueRange hull;
+    bool first = true;
+    for (const std::vector<ExprPtr>& r : residuals) {
+      ValueRange member_range = DeriveRange(r, col, nullptr);
+      if (first) {
+        hull = member_range;
+        first = false;
+        continue;
+      }
+      // Widen: hull lo = min(los) (unbounded wins), hi = max(his).
+      if (!member_range.lo.has_value() || !hull.lo.has_value()) {
+        hull.lo.reset();
+      } else {
+        int c = member_range.lo->Compare(*hull.lo);
+        if (c < 0 || (c == 0 && member_range.lo_inclusive)) {
+          hull.lo = member_range.lo;
+          hull.lo_inclusive = member_range.lo_inclusive || hull.lo_inclusive;
+        }
+      }
+      if (!member_range.hi.has_value() || !hull.hi.has_value()) {
+        hull.hi.reset();
+      } else {
+        int c = member_range.hi->Compare(*hull.hi);
+        if (c > 0 || (c == 0 && member_range.hi_inclusive)) {
+          hull.hi = member_range.hi;
+          hull.hi_inclusive = member_range.hi_inclusive || hull.hi_inclusive;
+        }
+      }
+    }
+    std::vector<ExprPtr> hull_conjuncts =
+        RangeToConjuncts(col, type_of(col), hull);
+    spec.conjuncts.insert(spec.conjuncts.end(), hull_conjuncts.begin(),
+                          hull_conjuncts.end());
+    for (std::vector<ExprPtr>& r : residuals) {
+      r.erase(std::remove_if(
+                  r.begin(), r.end(),
+                  [&](const ExprPtr& x) { return IsRangeConjunctOn(x, col); }),
+              r.end());
+    }
+  }
+
+  // 3c. Whatever is left becomes the OR'ed covering predicate — unless some
+  // consumer has no residual (its disjunct is TRUE, so the OR is TRUE).
+  bool any_empty = false;
+  for (const std::vector<ExprPtr>& r : residuals) any_empty |= r.empty();
+  if (!any_empty && !residuals.empty()) {
+    std::vector<ExprPtr> disjuncts;
+    for (const std::vector<ExprPtr>& r : residuals) {
+      disjuncts.push_back(CombineConjuncts(r));
+    }
+    spec.conjuncts.push_back(Expr::Or(std::move(disjuncts)));
+  }
+
+  // 4. Group-by: union of consumer grouping columns + compensation columns.
+  if (spec.has_groupby) {
+    std::set<ColId> group_cols(covering_cols);
+    for (int m : members) {
+      group_cols.insert(consumers[m].canon_group_cols.begin(),
+                        consumers[m].canon_group_cols.end());
+    }
+    spec.group_cols.assign(group_cols.begin(), group_cols.end());
+    for (int m : members) {
+      for (const auto& [fn, arg] : consumers[m].canon_aggs) {
+        bool dup = false;
+        for (const auto& [efn, earg] : spec.aggs) {
+          dup |= (efn == fn && ExprEquals(earg, arg));
+        }
+        if (!dup) spec.aggs.emplace_back(fn, arg);
+      }
+    }
+    spec.output_cols = spec.group_cols;
+  } else {
+    // 5. Output columns: per-consumer requirements + compensation columns.
+    std::set<ColId> out(covering_cols);
+    for (int m : members) {
+      out.insert(consumers[m].canon_required.begin(),
+                 consumers[m].canon_required.end());
+    }
+    spec.output_cols.assign(out.begin(), out.end());
+  }
+
+  CostSpec(&spec);
+
+  // Description, e.g. "[T;{customer,orders,lineitem}] 3 consumers γ{...}".
+  const Catalog* catalog = manager_->ctx()->catalog();
+  spec.description = spec.signature.ToString(catalog) +
+                     StrFormat(" %d consumers", (int)spec.consumers.size());
+  if (spec.has_groupby) {
+    std::vector<std::string> g;
+    for (ColId c : spec.group_cols) g.push_back(reg.info(c).name);
+    spec.description += " γ{" + Join(g, ",") + "}";
+  }
+  return spec;
+}
+
+void CandidateGenerator::CostSpec(CseSpec* spec) {
+  // Rows: product of table cardinalities times predicate selectivity, then
+  // a distinct-count cap for aggregation. Canonical columns carry their
+  // (table, column) identity, so the shared estimator applies unchanged.
+  const Catalog* catalog = manager_->ctx()->catalog();
+  double rows = 1;
+  for (TableId t : spec->signature.tables) {
+    const Table* table = catalog->GetTable(t);
+    rows *= table != nullptr ? std::max<double>(1.0, table->row_count()) : 1e3;
+  }
+  rows *= cards_->Selectivity(spec->conjuncts);
+  rows = std::max(rows, 1.0);
+  if (spec->has_groupby) {
+    double groups = 1;
+    for (ColId g : spec->group_cols) {
+      groups *= cards_->ColumnNdv(g, std::sqrt(rows));
+      if (groups > rows) break;
+    }
+    rows = std::clamp(groups, 1.0, rows);
+  }
+  spec->est_rows = rows;
+
+  const ColumnRegistry& reg = manager_->ctx()->columns();
+  double width = 0;
+  for (ColId c : spec->output_cols) width += DataTypeWidth(reg.info(c).type);
+  width += 8.0 * spec->aggs.size();
+  spec->width_bytes = std::max(width, 8.0);
+
+  spec->spool_write_cost =
+      CostModel::SpoolWriteCost(spec->est_rows, spec->width_bytes);
+  spec->spool_read_cost =
+      CostModel::SpoolReadCost(spec->est_rows, spec->width_bytes);
+}
+
+double CandidateGenerator::ConsumerLowerBound(GroupId g) const {
+  double c = manager_->memo()->group(g).best_cost;
+  return c >= 0 ? c : 0;
+}
+
+double CandidateGenerator::ConsumerUpperBound(GroupId g) const {
+  const Group& group = manager_->memo()->group(g);
+  double c = std::max(group.upper_cost, group.best_cost);
+  return c >= 0 ? c : 0;
+}
+
+double CandidateGenerator::SharedCost(const CseSpec& spec) const {
+  // C_E (approximated from below by the highest consumer lower bound, as in
+  // §4.3.3) + C_W + N * C_R.
+  double ce = 0;
+  for (GroupId g : spec.consumers) ce = std::max(ce, ConsumerLowerBound(g));
+  return ce + spec.spool_write_cost +
+         static_cast<double>(spec.consumers.size()) * spec.spool_read_cost;
+}
+
+void CandidateGenerator::GenerateForCompatibleSet(
+    const std::vector<SpjgNormalForm>& consumers, const CompatibleGroup& set,
+    std::vector<CseSpec>* out, GenDiagnostics* diag) {
+  std::vector<int> members = set.members;
+
+  if (!options_.heuristics) {
+    // No pruning: a single covering candidate over all consumers (the
+    // paper's Figure 6 shape).
+    if (members.size() >= 2) out->push_back(BuildSpec(consumers, members));
+    return;
+  }
+
+  // Heuristic 1 (after compatibility): total consumer lower bounds must be
+  // a significant fraction of the query cost.
+  double sum_lower = 0;
+  for (int m : members) sum_lower += ConsumerLowerBound(consumers[m].group);
+  if (options_.query_cost > 0 &&
+      sum_lower < options_.alpha * options_.query_cost) {
+    if (diag != nullptr) ++diag->sets_pruned_h1;
+    return;
+  }
+
+  // Heuristic 2: exclude consumers whose own result is so large that
+  // spooling it cannot beat recomputation.
+  {
+    const double n = static_cast<double>(members.size());
+    std::vector<int> kept;
+    for (int m : members) {
+      CseSpec trivial = BuildSpec(consumers, {m});
+      double upper = ConsumerUpperBound(consumers[m].group);
+      if (upper < trivial.spool_read_cost +
+                      (upper + trivial.spool_write_cost) / n) {
+        if (diag != nullptr) ++diag->consumers_pruned_h2;
+        continue;
+      }
+      kept.push_back(m);
+    }
+    members = std::move(kept);
+  }
+  if (members.size() < 2) return;
+
+  // Algorithm 1: greedy merging by benefit Δ (Heuristic 3).
+  auto cost_of = [&](const CseSpec& spec) {
+    if (spec.consumers.size() == 1) {
+      return ConsumerLowerBound(spec.consumers[0]);  // compute from scratch
+    }
+    return SharedCost(spec);
+  };
+
+  std::vector<std::vector<int>> trivial;  // as member-index sets
+  for (int m : members) trivial.push_back({m});
+
+  std::vector<bool> consumed(trivial.size(), false);
+  for (size_t seed = 0; seed < trivial.size(); ++seed) {
+    if (consumed[seed]) continue;
+    consumed[seed] = true;
+    std::vector<int> current = trivial[seed];
+    CseSpec current_spec = BuildSpec(consumers, current);
+    bool is_candidate = false;
+    while (true) {
+      double best_delta = 0;
+      int best_j = -1;
+      CseSpec best_spec;
+      for (size_t j = 0; j < trivial.size(); ++j) {
+        if (consumed[j]) continue;
+        std::vector<int> merged = current;
+        merged.push_back(trivial[j][0]);
+        CseSpec merged_spec = BuildSpec(consumers, merged);
+        CseSpec other_spec = BuildSpec(consumers, trivial[j]);
+        double delta =
+            cost_of(current_spec) + cost_of(other_spec) - cost_of(merged_spec);
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_j = static_cast<int>(j);
+          best_spec = std::move(merged_spec);
+        }
+      }
+      if (best_j < 0) {
+        if (diag != nullptr && !is_candidate) ++diag->merges_rejected_h3;
+        break;
+      }
+      consumed[best_j] = true;
+      current.push_back(trivial[best_j][0]);
+      current_spec = std::move(best_spec);
+      is_candidate = true;
+    }
+    if (is_candidate) out->push_back(std::move(current_spec));
+  }
+}
+
+std::vector<CseSpec> CandidateGenerator::GenerateAll(GenDiagnostics* diag) {
+  std::vector<CseSpec> out;
+  const ColumnRegistry& reg = manager_->ctx()->columns();
+  for (const std::vector<GroupId>& set : manager_->SharableSets()) {
+    if (diag != nullptr) ++diag->sharable_sets;
+    // Heuristic 1 before compatibility analysis: discard obviously trivial
+    // sets immediately.
+    if (options_.heuristics && options_.query_cost > 0) {
+      double sum_lower = 0;
+      for (GroupId g : set) sum_lower += ConsumerLowerBound(g);
+      if (sum_lower < options_.alpha * options_.query_cost) {
+        if (diag != nullptr) ++diag->sets_pruned_h1;
+        continue;
+      }
+    }
+    std::vector<SpjgNormalForm> consumers;
+    for (GroupId g : set) {
+      std::optional<SpjgNormalForm> nf = manager_->Normalize(g);
+      if (nf.has_value()) consumers.push_back(std::move(*nf));
+    }
+    if (consumers.size() < 2) continue;
+    for (const CompatibleGroup& compatible :
+         PartitionJoinCompatible(consumers, reg)) {
+      if (compatible.members.size() < 2) continue;
+      GenerateForCompatibleSet(consumers, compatible, &out, diag);
+    }
+  }
+  return out;
+}
+
+}  // namespace subshare

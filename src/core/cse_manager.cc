@@ -1,0 +1,151 @@
+#include "core/cse_manager.h"
+
+#include <algorithm>
+#include <map>
+
+namespace subshare {
+
+void CseManager::CollectSignatures() {
+  ComputeSignatures(*memo_, &signatures_);
+}
+
+std::vector<std::vector<GroupId>> CseManager::SharableSets() const {
+  // Consumer detection uses Get/JoinSet/GroupBy-rooted groups only; the
+  // Project/Filter wrappers above them share the same signature but add no
+  // sharing opportunity of their own.
+  std::map<size_t, std::vector<GroupId>> buckets;
+  for (GroupId g = 0; g < memo_->num_groups(); ++g) {
+    const TableSignature& sig = signatures_[g];
+    if (!sig.valid || sig.HasSelfJoin()) continue;
+    if (sig.tables.size() < 2) continue;  // single-source: not considered
+    const GroupExpr& first = memo_->group(g).exprs[0];
+    if (first.op.kind != LogicalOpKind::kJoinSet &&
+        first.op.kind != LogicalOpKind::kGroupBy) {
+      continue;
+    }
+    buckets[sig.Hash()].push_back(g);
+  }
+  std::vector<std::vector<GroupId>> out;
+  for (auto& [hash, groups] : buckets) {
+    if (groups.size() < 2) continue;
+    // Hash collisions: split by exact signature equality.
+    std::vector<std::vector<GroupId>> exact;
+    for (GroupId g : groups) {
+      bool placed = false;
+      for (auto& bucket : exact) {
+        if (signatures_[bucket[0]] == signatures_[g]) {
+          bucket.push_back(g);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) exact.push_back({g});
+    }
+    for (auto& bucket : exact) {
+      if (bucket.size() >= 2) out.push_back(std::move(bucket));
+    }
+  }
+  return out;
+}
+
+std::optional<SpjgNormalForm> CseManager::Normalize(GroupId g) const {
+  SpjgNormalForm nf;
+  nf.group = g;
+  nf.signature = signatures_[g];
+  if (!nf.signature.valid || nf.signature.HasSelfJoin()) return std::nullopt;
+
+  const GroupExpr* spj_expr = nullptr;
+  const Group& group = memo_->group(g);
+  const GroupExpr& first = group.exprs[0];
+  if (first.op.kind == LogicalOpKind::kGroupBy) {
+    nf.has_groupby = true;
+    nf.group_cols = first.op.group_cols;
+    nf.aggs = first.op.aggs;
+    const Group& child = memo_->group(first.children[0]);
+    spj_expr = &child.exprs[0];
+  } else {
+    spj_expr = &first;
+  }
+
+  // The SPJ part: a Get or a JoinSet whose members are all Gets.
+  if (spj_expr->op.kind == LogicalOpKind::kGet) {
+    nf.rel_ids.push_back(spj_expr->op.rel_id);
+    nf.conjuncts = spj_expr->op.conjuncts;
+  } else if (spj_expr->op.kind == LogicalOpKind::kJoinSet) {
+    nf.conjuncts = spj_expr->op.conjuncts;
+    for (GroupId m : spj_expr->children) {
+      const GroupExpr& member = memo_->group(m).exprs[0];
+      if (member.op.kind != LogicalOpKind::kGet) return std::nullopt;
+      nf.rel_ids.push_back(member.op.rel_id);
+      nf.conjuncts.insert(nf.conjuncts.end(), member.op.conjuncts.begin(),
+                          member.op.conjuncts.end());
+    }
+  } else {
+    return std::nullopt;
+  }
+
+  // Canonicalization: every base column of the participating relations maps
+  // to its (table, column) canonical column.
+  ColumnRegistry& reg = ctx_->columns();
+  for (int rel : nf.rel_ids) {
+    for (ColId c : reg.RelationColumns(rel)) {
+      ColId canon = reg.CanonicalOf(c);
+      if (canon == kInvalidColId) return std::nullopt;
+      nf.instance_to_canon[c] = canon;
+      nf.canon_to_instance[canon] = c;
+    }
+  }
+  auto canon_of = [&](ColId c) -> ColId {
+    auto it = nf.instance_to_canon.find(c);
+    return it == nf.instance_to_canon.end() ? kInvalidColId : it->second;
+  };
+  auto remap_ok = [&](const ExprPtr& e, ExprPtr* out) {
+    bool ok = true;
+    *out = RemapColumns(e, [&](ColId c) {
+      ColId m = canon_of(c);
+      if (m == kInvalidColId) ok = false;
+      return m == kInvalidColId ? c : m;
+    });
+    return ok;
+  };
+
+  for (const ExprPtr& conj : nf.conjuncts) {
+    ExprPtr canon;
+    if (!remap_ok(conj, &canon)) return std::nullopt;
+    nf.canon_conjuncts.push_back(std::move(canon));
+  }
+  nf.canon_eq = EquivalenceClasses::FromConjuncts(nf.canon_conjuncts);
+
+  for (ColId c : nf.group_cols) {
+    ColId canon = canon_of(c);
+    if (canon == kInvalidColId) return std::nullopt;
+    nf.canon_group_cols.push_back(canon);
+  }
+  std::sort(nf.canon_group_cols.begin(), nf.canon_group_cols.end());
+  nf.canon_group_cols.erase(
+      std::unique(nf.canon_group_cols.begin(), nf.canon_group_cols.end()),
+      nf.canon_group_cols.end());
+
+  for (const AggregateItem& a : nf.aggs) {
+    ExprPtr canon_arg;
+    if (a.arg != nullptr && !remap_ok(a.arg, &canon_arg)) return std::nullopt;
+    nf.agg_output_to_index[a.output] =
+        static_cast<int>(nf.canon_aggs.size());
+    nf.canon_aggs.emplace_back(a.fn, canon_arg);
+  }
+
+  for (ColId c : group.required) {
+    ColId canon = canon_of(c);
+    if (canon != kInvalidColId) {
+      nf.canon_required.insert(canon);
+    } else if (!nf.has_groupby) {
+      // A non-aggregated consumer that requires a column we cannot map
+      // (should not happen: its outputs are base columns).
+      return std::nullopt;
+    }
+    // Aggregate outputs are required too but are handled via canon_aggs.
+  }
+  return nf;
+}
+
+}  // namespace subshare

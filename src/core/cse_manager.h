@@ -1,0 +1,75 @@
+// The CSE manager (paper §2.2, Step 1 & the detection part of Step 2).
+//
+// Maintains the signature hash table over memo groups and finds signatures
+// referenced by two or more expressions from different parts of the query —
+// the potentially sharable sets. Also extracts and canonicalizes the SPJG
+// normal form of a group, which the rest of the core machinery (join
+// compatibility, CSE construction, view matching) operates on.
+#ifndef SUBSHARE_CORE_CSE_MANAGER_H_
+#define SUBSHARE_CORE_CSE_MANAGER_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/signature.h"
+#include "expr/equivalence.h"
+
+namespace subshare {
+
+// SPJG normal form of a memo group: γ?(σ_p(T1 × ... × Tn)) plus the
+// canonical-column translation used for cross-consumer reasoning.
+struct SpjgNormalForm {
+  GroupId group = kInvalidGroup;
+  TableSignature signature;
+
+  // Instance space (as bound).
+  std::vector<int> rel_ids;
+  std::vector<ExprPtr> conjuncts;
+  bool has_groupby = false;
+  std::vector<ColId> group_cols;
+  std::vector<AggregateItem> aggs;
+
+  // Canonical space ((table_id, column) interned columns).
+  std::vector<ExprPtr> canon_conjuncts;
+  EquivalenceClasses canon_eq;
+  std::vector<ColId> canon_group_cols;                  // sorted
+  std::vector<std::pair<AggFn, ExprPtr>> canon_aggs;    // fn + canonical arg
+  std::set<ColId> canon_required;  // required base columns, canonicalized
+
+  // Maps between spaces (valid because self-joins are excluded).
+  std::unordered_map<ColId, ColId> instance_to_canon;
+  std::unordered_map<ColId, ColId> canon_to_instance;
+  // Consumer aggregate output -> canonical (fn, arg) index in canon_aggs.
+  std::unordered_map<ColId, int> agg_output_to_index;
+};
+
+class CseManager {
+ public:
+  CseManager(Memo* memo, QueryContext* ctx) : memo_(memo), ctx_(ctx) {}
+
+  // (Re)computes signatures for all groups and rebuilds the hash table.
+  void CollectSignatures();
+
+  const TableSignature& signature(GroupId g) const { return signatures_[g]; }
+
+  // Groups of memo groups sharing a valid signature with >= 2 members,
+  // >= 2 tables, and no self-joins — the potentially sharable sets
+  // (deterministic order).
+  std::vector<std::vector<GroupId>> SharableSets() const;
+
+  // Extracts + canonicalizes the SPJG normal form; nullopt if the group is
+  // not in coverable shape (self-join, synthetic columns, non-SPJG).
+  std::optional<SpjgNormalForm> Normalize(GroupId g) const;
+
+  Memo* memo() { return memo_; }
+  QueryContext* ctx() { return ctx_; }
+
+ private:
+  Memo* memo_;
+  QueryContext* ctx_;
+  std::vector<TableSignature> signatures_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CORE_CSE_MANAGER_H_

@@ -1,0 +1,345 @@
+#include "core/cse_optimizer.h"
+
+#include <algorithm>
+
+#include "optimizer/cost_model.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace subshare {
+
+namespace {
+
+// True if `maybe_desc`'s creation chain passes through `ancestor`.
+bool IsCreationDescendant(const Memo& memo, GroupId maybe_desc,
+                          GroupId ancestor) {
+  for (GroupId g : memo.AncestorChain(maybe_desc)) {
+    if (g == ancestor) return true;
+  }
+  return false;
+}
+
+// Heuristic 4 containment (Definition 4.2): tables(c) ⊆ tables(p) and each
+// consumer of c descends from a consumer of p.
+bool Contained(const Memo& memo, const CseSpec& c, const CseSpec& p) {
+  std::set<TableId> tc(c.signature.tables.begin(), c.signature.tables.end());
+  std::set<TableId> tp(p.signature.tables.begin(), p.signature.tables.end());
+  if (!std::includes(tp.begin(), tp.end(), tc.begin(), tc.end())) {
+    return false;
+  }
+  for (GroupId gc : c.consumers) {
+    bool covered = false;
+    for (GroupId gp : p.consumers) {
+      if (IsDescendantGroup(memo, gc, gp)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CseQueryOptimizer::CseQueryOptimizer(QueryContext* ctx,
+                                     CseOptimizerOptions options)
+    : ctx_(ctx),
+      options_(options),
+      optimizer_(std::make_unique<Optimizer>(ctx, options.optimizer)) {}
+
+bool CseQueryOptimizer::Competing(const CseCandidateInfo& a,
+                                  const CseCandidateInfo& b) const {
+  const Memo& memo = optimizer_->memo();
+  return a.lca_group == b.lca_group ||
+         IsCreationDescendant(memo, a.lca_group, b.lca_group) ||
+         IsCreationDescendant(memo, b.lca_group, a.lca_group);
+}
+
+PhysicalNodePtr CseQueryOptimizer::Enumerate(GroupId root, int n,
+                                             PhysicalNodePtr normal_plan,
+                                             Bitset64* best_set,
+                                             CseMetrics* metrics) {
+  PhysicalNodePtr best = normal_plan;
+  *best_set = Bitset64();
+
+  // Independence matrix (Definition 5.2).
+  std::vector<std::vector<bool>> independent(n, std::vector<bool>(n, true));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      bool ind = !Competing(optimizer_->candidate(i),
+                            optimizer_->candidate(j));
+      independent[i][j] = independent[j][i] = ind;
+    }
+  }
+  auto fully_independent_part = [&](uint64_t s) {
+    // T(S): members independent of every other member of S.
+    uint64_t t = 0;
+    for (int i = 0; i < n; ++i) {
+      if (!(s >> i & 1)) continue;
+      bool ok = true;
+      for (int j = 0; j < n; ++j) {
+        if (j != i && (s >> j & 1) && !independent[i][j]) ok = false;
+      }
+      if (ok) t |= (1ULL << i);
+    }
+    return t;
+  };
+
+  // All non-empty subsets in descending size order (§5.3), except that
+  // singletons are promoted to run right after the full set: when the
+  // optimization cap truncates the enumeration for large N, the cheap
+  // single-candidate plans (the common winners) are still examined.
+  std::vector<uint64_t> subsets;
+  uint64_t full = (n >= 64) ? ~0ULL : ((1ULL << n) - 1);
+  for (uint64_t s = 1; s <= full; ++s) subsets.push_back(s);
+  std::stable_sort(subsets.begin(), subsets.end(),
+                   [full](uint64_t a, uint64_t b) {
+                     auto rank = [full](uint64_t s) {
+                       if (s == full) return 1 << 20;
+                       int pop = __builtin_popcountll(s);
+                       if (pop == 1) return 1 << 19;  // promoted singletons
+                       return pop;
+                     };
+                     return rank(a) > rank(b);
+                   });
+
+  std::set<uint64_t> processed;
+  auto apply_props = [&](uint64_t s, uint64_t used) {
+    // Prop 5.6: the plan returned under S is also optimal under `used`.
+    processed.insert(used);
+    // Props 5.4/5.5 for both S and used: any proper subset made only of
+    // the fully independent part can be skipped.
+    for (uint64_t base : {s, used}) {
+      uint64_t t = fully_independent_part(base);
+      if (t == 0) continue;
+      if (t == base) {
+        // Prop 5.4: all members independent -> every subset is redundant.
+        for (uint64_t sub = (base - 1) & base; sub != 0;
+             sub = (sub - 1) & base) {
+          processed.insert(sub);
+        }
+      } else {
+        // Prop 5.5: proper subsets of the independent part T.
+        for (uint64_t sub = (t - 1) & t; sub != 0; sub = (sub - 1) & t) {
+          processed.insert(sub);
+        }
+      }
+    }
+  };
+
+  int opts = 0;
+  for (uint64_t s : subsets) {
+    if (processed.count(s) > 0) continue;
+    if (opts >= options_.max_optimizations) break;
+    ++opts;
+    processed.insert(s);
+    PhysicalNodePtr plan = optimizer_->BestPlan(root, Bitset64(s));
+    if (plan == nullptr) continue;
+    uint64_t used = 0;
+    for (const auto& [id, count] : plan->cse_uses) {
+      if (count >= 2 && (s >> id & 1)) used |= (1ULL << id);
+    }
+    apply_props(s, used);
+    if (plan->est_cost < best->est_cost) {
+      best = plan;
+      *best_set = Bitset64(used != 0 ? used : s);
+    }
+  }
+  if (metrics != nullptr) metrics->cse_optimizations = opts;
+  return best;
+}
+
+ExecutablePlan CseQueryOptimizer::Optimize(
+    const std::vector<Statement>& statements, CseMetrics* metrics) {
+  WallTimer timer;
+  CseMetrics local;
+  CseMetrics* m = metrics != nullptr ? metrics : &local;
+
+  // --- Step 1: normal optimization (signatures are derivable from the
+  // memo at any time; the CSE manager computes them in Step 2). ---
+  GroupId root = optimizer_->BuildAndExplore(statements);
+  PhysicalNodePtr normal_plan = optimizer_->BestPlan(root, Bitset64());
+  CHECK(normal_plan != nullptr) << "no feasible plan";
+  m->normal_cost = normal_plan->est_cost;
+
+  auto finish = [&](PhysicalNodePtr plan, Bitset64 enabled) {
+    ExecutablePlan exec = optimizer_->Assemble(std::move(plan), enabled);
+    m->final_cost = exec.est_cost;
+    m->used_cses = static_cast<int>(exec.cse_plans.size());
+    m->optimize_seconds = timer.ElapsedSeconds();
+    m->plan_computations = optimizer_->plan_computations();
+    return exec;
+  };
+
+  if (!options_.enable_cse || m->normal_cost < options_.min_query_cost) {
+    return finish(normal_plan, Bitset64());
+  }
+
+  // --- Step 2: detection + candidate generation. ---
+  CseManager manager(&optimizer_->memo(), ctx_);
+  manager.CollectSignatures();
+  CandidateGenOptions gen_options;
+  gen_options.heuristics = options_.enable_heuristics;
+  gen_options.alpha = options_.alpha;
+  gen_options.query_cost = m->normal_cost;
+  gen_options.enable_range_hull = options_.enable_range_hull;
+  CandidateGenerator generator(&manager, &optimizer_->cards(), gen_options);
+  std::vector<CseSpec> specs = generator.GenerateAll(&m->gen);
+  m->sharable_sets = m->gen.sharable_sets;
+  m->candidates_generated = static_cast<int>(specs.size());
+  if (specs.empty()) return finish(normal_plan, Bitset64());
+
+  // Heuristic 4: drop candidates contained in another candidate with a
+  // (nearly) smaller or equal result.
+  if (options_.enable_heuristics) {
+    std::vector<bool> dead(specs.size(), false);
+    for (size_t c = 0; c < specs.size(); ++c) {
+      for (size_t p = 0; p < specs.size(); ++p) {
+        if (c == p || dead[p]) continue;
+        if (Contained(optimizer_->memo(), specs[c], specs[p]) &&
+            specs[c].bytes() > options_.beta * specs[p].bytes()) {
+          dead[c] = true;
+          m->pruned_descriptions.push_back(
+              specs[c].description + " -- pruned by Heuristic 4 (contained)");
+          break;
+        }
+      }
+    }
+    std::vector<CseSpec> kept;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (!dead[i]) kept.push_back(std::move(specs[i]));
+    }
+    specs = std::move(kept);
+  }
+
+  // Enumeration cap: keep the most promising candidates, ranked by the
+  // §4.3.3-style net benefit estimate
+  //   Σ_i C_i^lower  -  (max_i C_i^lower + C_W + N * C_R).
+  if (static_cast<int>(specs.size()) > options_.max_candidates) {
+    auto benefit = [this](const CseSpec& s) {
+      double sum = 0, max_lower = 0;
+      for (GroupId g : s.consumers) {
+        double lower = std::max(0.0, optimizer_->memo().group(g).best_cost);
+        sum += lower;
+        max_lower = std::max(max_lower, lower);
+      }
+      return sum - (max_lower + s.spool_write_cost +
+                    static_cast<double>(s.consumers.size()) *
+                        s.spool_read_cost);
+    };
+    std::stable_sort(specs.begin(), specs.end(),
+                     [&](const CseSpec& a, const CseSpec& b) {
+                       return benefit(a) > benefit(b);
+                     });
+    for (size_t i = options_.max_candidates; i < specs.size(); ++i) {
+      m->pruned_descriptions.push_back(specs[i].description +
+                                       " -- dropped by enumeration cap");
+    }
+    specs.resize(options_.max_candidates);
+  }
+  m->candidates_after_pruning = static_cast<int>(specs.size());
+  if (specs.empty()) return finish(normal_plan, Bitset64());
+
+  // --- Step 3: materialize candidates, match consumers, inject, optimize.
+  CseMaterializer materializer(&optimizer_->memo(), ctx_);
+  std::vector<CseArtifacts> artifacts;
+  std::vector<GroupId> eval_roots;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    artifacts.push_back(materializer.Materialize(specs[i],
+                                                 static_cast<int>(i)));
+    eval_roots.push_back(artifacts.back().eval_root);
+    m->candidate_descriptions.push_back(specs[i].description);
+  }
+  // Explore the evaluation expressions (this also creates the partial
+  // aggregates / sub-joins inside them that stacked matching inspects).
+  optimizer_->ReexploreWithRoots(eval_roots);
+
+  // Stacked CSEs (§5.5): groups inside a wider candidate's evaluation tree
+  // may consume a strictly narrower candidate.
+  manager.CollectSignatures();
+  if (options_.enable_stacked) {
+    for (size_t j = 0; j < specs.size(); ++j) {
+      for (size_t i = 0; i < specs.size(); ++i) {
+        if (i == j) continue;
+        std::set<TableId> tj(specs[j].signature.tables.begin(),
+                             specs[j].signature.tables.end());
+        std::set<TableId> ti(specs[i].signature.tables.begin(),
+                             specs[i].signature.tables.end());
+        if (tj.size() >= ti.size() ||
+            !std::includes(ti.begin(), ti.end(), tj.begin(), tj.end())) {
+          continue;
+        }
+        // Scan groups created under candidate i's evaluation tree.
+        for (GroupId g = 0; g < optimizer_->memo().num_groups(); ++g) {
+          if (!(manager.signature(g) == specs[j].signature)) continue;
+          if (!IsCreationDescendant(optimizer_->memo(), g,
+                                    artifacts[i].eval_root)) {
+            continue;
+          }
+          if (std::find(specs[j].consumers.begin(), specs[j].consumers.end(),
+                        g) != specs[j].consumers.end()) {
+            continue;
+          }
+          std::optional<SpjgNormalForm> nf = manager.Normalize(g);
+          if (!nf.has_value()) continue;
+          if (materializer.MatchConsumer(specs[j], artifacts[j], *nf)
+                  .has_value()) {
+            specs[j].consumers.push_back(g);
+          }
+        }
+      }
+    }
+  }
+
+  // Inject substitutes for every consumer of every candidate.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::vector<GroupId> matched;
+    for (GroupId g : specs[i].consumers) {
+      std::optional<SpjgNormalForm> nf = manager.Normalize(g);
+      if (!nf.has_value()) continue;
+      std::optional<SubstituteSpec> sub =
+          materializer.MatchConsumer(specs[i], artifacts[i], *nf);
+      if (!sub.has_value()) continue;
+      materializer.Inject(*sub, artifacts[i], g);
+      matched.push_back(g);
+    }
+    specs[i].consumers = std::move(matched);
+  }
+
+  // Required columns changed (substitute payloads); recompute, then masks.
+  optimizer_->ReexploreWithRoots(eval_roots);
+
+  // Register candidates with the costing engine.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    CseCandidateInfo info;
+    info.eval_group = artifacts[i].eval_root;
+    info.spool_group = artifacts[i].cseref_group;
+    info.consumer_groups = specs[i].consumers;
+    info.lca_group = optimizer_->memo().LowestCommonAncestor(
+        specs[i].consumers, root);
+    double rows =
+        optimizer_->cards().GroupCardinality(artifacts[i].eval_root);
+    info.est_rows = rows;
+    double width = artifacts[i].spool_schema.RowWidthBytes();
+    info.spool_write_cost = CostModel::SpoolWriteCost(rows, width);
+    info.spool_read_cost = CostModel::SpoolReadCost(rows, width);
+    info.spool_schema = artifacts[i].spool_schema;
+    info.output_cols = artifacts[i].spool_cols;
+    optimizer_->memo().group(artifacts[i].cseref_group).cardinality = rows;
+    int id = optimizer_->RegisterCandidate(std::move(info));
+    CHECK(id == static_cast<int>(i));
+  }
+  optimizer_->ComputeRelevantMasks();
+
+  // Re-derive the normal plan under the rebuilt cache (same cost) and run
+  // the enabled-set enumeration.
+  normal_plan = optimizer_->BestPlan(root, Bitset64());
+  CHECK(normal_plan != nullptr);
+  Bitset64 best_set;
+  PhysicalNodePtr best = Enumerate(root, static_cast<int>(specs.size()),
+                                   normal_plan, &best_set, m);
+  return finish(best, best_set);
+}
+
+}  // namespace subshare

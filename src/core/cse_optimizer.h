@@ -1,0 +1,88 @@
+// End-to-end optimization with exploitation of similar subexpressions —
+// the paper's Figure 1 pipeline:
+//
+//   Step 1  normal optimization; table signatures collected over the memo
+//   Step 2  sharable-signature detection, join compatibility, candidate
+//           construction (Algorithm 1 + Heuristics 1–3), containment
+//           pruning (Heuristic 4)
+//   Step 3  candidates materialized as views, substitutes injected,
+//           stacked matches discovered (§5.5), and optimization resumed
+//           once per enabled candidate set, pruned by Propositions 5.4–5.6
+//           (§5.3); the cheapest plan over all runs (including the no-CSE
+//           plan) wins.
+#ifndef SUBSHARE_CORE_CSE_OPTIMIZER_H_
+#define SUBSHARE_CORE_CSE_OPTIMIZER_H_
+
+#include <memory>
+
+#include "core/candidate_gen.h"
+#include "core/view_match.h"
+#include "optimizer/optimizer.h"
+
+namespace subshare {
+
+struct CseOptimizerOptions {
+  bool enable_cse = true;
+  bool enable_heuristics = true;    // Heuristics 1–4
+  double alpha = 0.10;              // Heuristic 1
+  double beta = 0.90;               // Heuristic 4
+  bool enable_stacked = true;       // §5.5
+  bool enable_range_hull = true;    // §4.2 covering-predicate simplification
+  // Skip the CSE phase entirely when the normal plan is cheaper than this
+  // ("only if the query is expensive", §2.2). 0 = always try.
+  double min_query_cost = 0;
+  // Candidates kept for subset enumeration (2^N growth); extra candidates
+  // are dropped lowest-benefit-first.
+  int max_candidates = 12;
+  // Hard cap on CSE re-optimizations.
+  int max_optimizations = 512;
+  OptimizerOptions optimizer;
+};
+
+struct CseMetrics {
+  int sharable_sets = 0;
+  int candidates_generated = 0;       // before Heuristic 4 / cap
+  int candidates_after_pruning = 0;   // reported as "# of CSEs"
+  int cse_optimizations = 0;          // reported as "[CSE Opt]"
+  int used_cses = 0;
+  double normal_cost = 0;             // best plan cost without CSEs
+  double final_cost = 0;
+  double optimize_seconds = 0;
+  // (group, context) best-plan computations performed — the work measure
+  // that the §5.4 optimization-history reuse keeps low across re-runs.
+  int64_t plan_computations = 0;
+  GenDiagnostics gen;
+  std::vector<std::string> candidate_descriptions;
+  std::vector<std::string> pruned_descriptions;  // "<desc> -- <reason>"
+};
+
+class CseQueryOptimizer {
+ public:
+  CseQueryOptimizer(QueryContext* ctx, CseOptimizerOptions options = {});
+
+  // Optimizes a bound batch. Never fails structurally: the normal plan is
+  // always available as a fallback.
+  ExecutablePlan Optimize(const std::vector<Statement>& statements,
+                          CseMetrics* metrics = nullptr);
+
+  Optimizer& optimizer() { return *optimizer_; }
+
+ private:
+  // True when LCA(a) and LCA(b) are creation-tree ancestor/descendant
+  // (Definition 5.2: competing candidates).
+  bool Competing(const CseCandidateInfo& a, const CseCandidateInfo& b) const;
+
+  // §5.3 enumeration with Props 5.4–5.6; returns the best plan and the
+  // enabled set that produced it.
+  PhysicalNodePtr Enumerate(GroupId root, int num_candidates,
+                            PhysicalNodePtr normal_plan, Bitset64* best_set,
+                            CseMetrics* metrics);
+
+  QueryContext* ctx_;
+  CseOptimizerOptions options_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CORE_CSE_OPTIMIZER_H_

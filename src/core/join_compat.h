@@ -1,0 +1,37 @@
+// Join compatibility (paper §4.1, Definition 4.1).
+//
+// Two SPJ expressions over the same tables are join compatible when the
+// equijoin graph of the intersection of their equivalence classes is
+// connected. Sets of consumers are partitioned into mutually compatible
+// groups by greedily maintaining each group's running class intersection.
+#ifndef SUBSHARE_CORE_JOIN_COMPAT_H_
+#define SUBSHARE_CORE_JOIN_COMPAT_H_
+
+#include "core/cse_manager.h"
+
+namespace subshare {
+
+// True iff the equijoin graph induced by `eq` connects all tables of `nf`
+// (tables resolved through the canonical column registry).
+bool EquijoinGraphConnected(const EquivalenceClasses& eq,
+                            const std::vector<TableId>& tables,
+                            const ColumnRegistry& registry);
+
+// Definition 4.1 for a pair.
+bool JoinCompatible(const SpjgNormalForm& a, const SpjgNormalForm& b,
+                    const ColumnRegistry& registry);
+
+// Partitions indexes into `consumers` into mutually join-compatible groups;
+// each returned bucket also reports the intersected equivalence classes of
+// its members.
+struct CompatibleGroup {
+  std::vector<int> members;       // indexes into the consumer vector
+  EquivalenceClasses intersection;
+};
+std::vector<CompatibleGroup> PartitionJoinCompatible(
+    const std::vector<SpjgNormalForm>& consumers,
+    const ColumnRegistry& registry);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CORE_JOIN_COMPAT_H_

@@ -1,0 +1,125 @@
+#include "core/signature.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace subshare {
+
+bool TableSignature::HasSelfJoin() const {
+  for (size_t i = 1; i < tables.size(); ++i) {
+    if (tables[i] == tables[i - 1]) return true;
+  }
+  return false;
+}
+
+size_t TableSignature::Hash() const {
+  size_t seed = valid ? 0x51627384 : 0;
+  HashValue(&seed, has_groupby);
+  HashRange(&seed, tables);
+  return seed;
+}
+
+bool TableSignature::operator==(const TableSignature& other) const {
+  return valid == other.valid && has_groupby == other.has_groupby &&
+         tables == other.tables;
+}
+
+std::string TableSignature::ToString(const Catalog* catalog) const {
+  if (!valid) return "<none>";
+  std::vector<std::string> names;
+  for (TableId t : tables) {
+    const Table* table = catalog != nullptr ? catalog->GetTable(t) : nullptr;
+    names.push_back(table != nullptr ? table->name()
+                                     : "t" + std::to_string(t));
+  }
+  return std::string("[") + (has_groupby ? "T" : "F") + "; {" +
+         Join(names, ", ") + "}]";
+}
+
+namespace {
+
+// Computes the signature of one group from already-computed child
+// signatures, following Figure 2. Returns an invalid signature when no rule
+// applies.
+TableSignature SignatureOfGroup(const Memo& memo, GroupId g,
+                                const std::vector<TableSignature>& sigs) {
+  const Group& group = memo.group(g);
+  // All expressions in a group agree; compute from each until one yields a
+  // valid signature (some expressions, e.g. CseRef substitutes, never do).
+  for (const GroupExpr& expr : group.exprs) {
+    TableSignature sig;
+    switch (expr.op.kind) {
+      case LogicalOpKind::kGet:
+        // Table rule (local selections keep the signature: the Select rule).
+        sig.valid = true;
+        sig.has_groupby = false;
+        sig.tables = {expr.op.table_id};
+        return sig;
+      case LogicalOpKind::kJoinSet:
+      case LogicalOpKind::kJoin: {
+        // Join rule: requires G = F on every input.
+        sig.valid = true;
+        sig.has_groupby = false;
+        for (GroupId c : expr.children) {
+          const TableSignature& child = sigs[c];
+          if (!child.valid || child.has_groupby) {
+            sig.valid = false;
+            break;
+          }
+          sig.tables.insert(sig.tables.end(), child.tables.begin(),
+                            child.tables.end());
+        }
+        if (!sig.valid) continue;
+        std::sort(sig.tables.begin(), sig.tables.end());
+        return sig;
+      }
+      case LogicalOpKind::kGroupBy: {
+        // GroupBy rule: child must be an SPJ expression (G = F).
+        const TableSignature& child = sigs[expr.children[0]];
+        if (!child.valid || child.has_groupby) continue;
+        sig.valid = true;
+        sig.has_groupby = true;
+        sig.tables = child.tables;
+        return sig;
+      }
+      case LogicalOpKind::kFilter:
+      case LogicalOpKind::kProject:
+      case LogicalOpKind::kSort: {
+        // Select/Project rules: propagate when the child is SPJ (G = F).
+        // These groups keep a signature for completeness but are not used
+        // as CSE consumers (the SPJG group below them already is).
+        const TableSignature& child = sigs[expr.children[0]];
+        if (!child.valid || child.has_groupby) continue;
+        return child;
+      }
+      case LogicalOpKind::kBatch:
+      case LogicalOpKind::kCseRef:
+        continue;
+    }
+  }
+  return TableSignature{};
+}
+
+}  // namespace
+
+void ComputeSignatures(const Memo& memo, std::vector<TableSignature>* out) {
+  out->assign(memo.num_groups(), TableSignature{});
+  // Children can have higher group ids than parents only for rule-created
+  // groups; iterate to a fixpoint (cheap: signatures stabilize in a few
+  // rounds because the DAG is shallow).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GroupId g = 0; g < memo.num_groups(); ++g) {
+      TableSignature sig = SignatureOfGroup(memo, g, *out);
+      if (!((*out)[g] == sig)) {
+        (*out)[g] = sig;
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace subshare

@@ -1,0 +1,44 @@
+// Table signatures (paper §3, Definition 3.1 and Figure 2).
+//
+// A table signature S_e = [G_e; T_e] exists iff `e` is an SPJG expression:
+//   Table t        -> [F; {t}]
+//   Select/Project -> S_child               (if G_child = F)
+//   Join(c, d)     -> [F; T_c ∪ T_d]        (if G_c = G_d = F)
+//   GroupBy(e)     -> [T; T_e]              (if G_e = F)
+//   anything else  -> no signature
+//
+// Signatures are computed per memo group (all expressions in a group are
+// logically equal, so they agree) and act as the fast filter for potential
+// sharing: expressions with different signatures cannot be covered by one
+// CSE. T_e is kept as a sorted multiset of table ids so self-joins are
+// distinguishable (they are excluded from CSE coverage, see DESIGN.md).
+#ifndef SUBSHARE_CORE_SIGNATURE_H_
+#define SUBSHARE_CORE_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/memo.h"
+
+namespace subshare {
+
+struct TableSignature {
+  bool valid = false;
+  bool has_groupby = false;          // G_e
+  std::vector<TableId> tables;       // T_e, sorted (multiset)
+
+  bool HasSelfJoin() const;
+  size_t Hash() const;
+  bool operator==(const TableSignature& other) const;
+
+  std::string ToString(const Catalog* catalog = nullptr) const;
+};
+
+// Computes signatures for every group, incrementally from child-group
+// signatures per the Figure 2 rules (memoized in `out`, indexed by group
+// id). Groups whose expressions are not SPJG get an invalid signature.
+void ComputeSignatures(const Memo& memo, std::vector<TableSignature>* out);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CORE_SIGNATURE_H_

@@ -1,0 +1,257 @@
+#include "core/view_match.h"
+
+#include <algorithm>
+
+#include "expr/implication.h"
+#include "util/string_util.h"
+
+namespace subshare {
+
+CseArtifacts CseMaterializer::Materialize(const CseSpec& spec, int cse_id) {
+  CseArtifacts art;
+  art.cse_id = cse_id;
+  ColumnRegistry& reg = ctx_->columns();
+
+  // Fresh relation instances, one per (distinct) table.
+  std::unordered_map<TableId, int> rels;
+  std::unordered_map<ColId, ColId> canon_to_instance;
+  for (TableId t : spec.signature.tables) {
+    const Table* table = ctx_->catalog()->GetTable(t);
+    CHECK(table != nullptr);
+    int rel = ctx_->AddRelation(
+        *table, StrFormat("cse%d_%s", cse_id, table->name().c_str()));
+    rels[t] = rel;
+    for (int i = 0; i < table->schema().num_columns(); ++i) {
+      ColId inst = reg.RelationColumn(rel, i);
+      canon_to_instance[reg.CanonicalOf(inst)] = inst;
+    }
+  }
+  auto to_instance = [&](const ExprPtr& e) {
+    return RemapColumns(e, [&](ColId c) {
+      auto it = canon_to_instance.find(c);
+      CHECK(it != canon_to_instance.end()) << "unmapped canonical column";
+      return it->second;
+    });
+  };
+
+  // Distribute conjuncts: single-relation ones push into the Get.
+  std::unordered_map<int, std::vector<ExprPtr>> local;
+  std::vector<ExprPtr> join_conjuncts;
+  for (const ExprPtr& canon : spec.conjuncts) {
+    ExprPtr inst = to_instance(canon);
+    std::set<ColId> cols;
+    CollectColumns(inst, &cols);
+    std::set<int> touched;
+    for (ColId c : cols) touched.insert(reg.info(c).rel_id);
+    if (touched.size() == 1) {
+      local[*touched.begin()].push_back(inst);
+    } else {
+      join_conjuncts.push_back(inst);
+    }
+  }
+
+  // Assemble the evaluation tree.
+  LogicalTreePtr block;
+  if (rels.size() == 1) {
+    int rel = rels.begin()->second;
+    block = MakeTree(LogicalOp::Get(rel, reg.relation(rel).table_id,
+                                    local[rel]));
+    // Any remaining conjuncts (constant-only) join the Get's list.
+    for (ExprPtr& c : join_conjuncts) {
+      block->op.conjuncts.push_back(std::move(c));
+    }
+  } else {
+    block = MakeTree(LogicalOp::JoinSet(std::move(join_conjuncts)));
+    for (TableId t : spec.signature.tables) {
+      int rel = rels[t];
+      block->AddChild(
+          MakeTree(LogicalOp::Get(rel, t, local[rel])));
+    }
+  }
+
+  std::vector<ColId> agg_outputs;  // instance-space aggregate outputs
+  if (spec.has_groupby) {
+    std::vector<ColId> group_cols;
+    for (ColId c : spec.group_cols) {
+      group_cols.push_back(canon_to_instance.at(c));
+    }
+    std::vector<AggregateItem> aggs;
+    for (const auto& [fn, arg] : spec.aggs) {
+      ExprPtr inst_arg = arg != nullptr ? to_instance(arg) : nullptr;
+      DataType type = AggResultType(
+          fn, inst_arg != nullptr ? inst_arg->type : DataType::kInt64);
+      ColId out = reg.AddSynthetic(
+          StrFormat("cse%d_agg%d", cse_id, (int)aggs.size()), type);
+      aggs.push_back({fn, inst_arg, out});
+      agg_outputs.push_back(out);
+    }
+    auto gb = MakeTree(LogicalOp::GroupBy(std::move(group_cols),
+                                          std::move(aggs)));
+    gb->AddChild(std::move(block));
+    block = std::move(gb);
+  }
+
+  // Spool projection: non-aggregate outputs then aggregates. Spool column
+  // ids are allocated consecutively, so ascending id order == this order ==
+  // the eval group's (sorted) output — the invariant Assemble() relies on.
+  std::vector<ProjectItem> items;
+  for (ColId canon : spec.output_cols) {
+    // Copy: AddSynthetic can reallocate the registry's column storage,
+    // which would invalidate a reference returned by info().
+    const ColumnInfo info = reg.info(canon);
+    ColId spool = reg.AddSynthetic(
+        StrFormat("cse%d_%s", cse_id, info.name.c_str()), info.type);
+    ColId inst = canon_to_instance.at(canon);
+    items.push_back({Expr::Column(inst, info.type), spool});
+    art.canon_to_spool[canon] = spool;
+    art.spool_cols.push_back(spool);
+    art.spool_schema.AddColumn(info.name, info.type);
+  }
+  for (size_t i = 0; i < agg_outputs.size(); ++i) {
+    const ColumnInfo info = reg.info(agg_outputs[i]);  // copy, see above
+    ColId spool = reg.AddSynthetic(info.name + "_spool", info.type);
+    items.push_back({Expr::Column(agg_outputs[i], info.type), spool});
+    art.agg_spool_cols.push_back(spool);
+    art.spool_cols.push_back(spool);
+    art.spool_schema.AddColumn(
+        AggFnName(spec.aggs[i].first) + "_" + std::to_string(i), info.type);
+  }
+  auto project = MakeTree(LogicalOp::Project(std::move(items)));
+  project->AddChild(std::move(block));
+
+  art.eval_root = memo_->InsertTree(*project);
+  art.cseref_group = memo_->InsertExpr(
+      LogicalOp::CseRef(cse_id, art.spool_cols), {});
+  // Spool cardinality drives consumer-side costing.
+  memo_->group(art.cseref_group).cardinality = spec.est_rows;
+  return art;
+}
+
+std::optional<SubstituteSpec> CseMaterializer::MatchConsumer(
+    const CseSpec& spec, const CseArtifacts& artifacts,
+    const SpjgNormalForm& consumer) {
+  if (!(consumer.signature == spec.signature)) return std::nullopt;
+
+  // The consumer's predicate must imply the CSE's predicate: every row the
+  // consumer needs is in the spool.
+  if (!ImpliesAll(consumer.canon_conjuncts, spec.conjuncts,
+                  &consumer.canon_eq)) {
+    return std::nullopt;
+  }
+
+  // Compensation: consumer conjuncts not guaranteed by the CSE.
+  SubstituteSpec sub;
+  std::vector<ExprPtr> comp_canon;
+  for (const ExprPtr& conj : consumer.canon_conjuncts) {
+    if (ImpliesConjunct(spec.conjuncts, conj, &spec.eq)) continue;
+    comp_canon.push_back(conj);
+  }
+  // Every compensation column must be available in the spool.
+  for (const ExprPtr& conj : comp_canon) {
+    std::set<ColId> cols;
+    CollectColumns(conj, &cols);
+    for (ColId c : cols) {
+      if (artifacts.canon_to_spool.find(c) == artifacts.canon_to_spool.end()) {
+        return std::nullopt;
+      }
+    }
+  }
+  auto to_spool = [&](const ExprPtr& e) {
+    return RemapColumns(
+        e, [&](ColId c) { return artifacts.canon_to_spool.at(c); });
+  };
+  for (const ExprPtr& conj : comp_canon) {
+    sub.compensation.push_back(to_spool(conj));
+  }
+
+  ColumnRegistry& reg = ctx_->columns();
+  // Maps a consumer aggregate output to the spool column holding the
+  // matching CSE aggregate; -1 if the CSE does not compute it.
+  auto spec_agg_index = [&](const std::pair<AggFn, ExprPtr>& want) {
+    for (size_t j = 0; j < spec.aggs.size(); ++j) {
+      if (spec.aggs[j].first == want.first &&
+          ExprEquals(spec.aggs[j].second, want.second)) {
+        return static_cast<int>(j);
+      }
+    }
+    return -1;
+  };
+
+  std::unordered_map<ColId, ColId> consumer_agg_source;  // output -> spool/reagg
+  if (spec.has_groupby) {
+    // Grouping columns must be covered.
+    for (ColId g : consumer.canon_group_cols) {
+      if (std::find(spec.group_cols.begin(), spec.group_cols.end(), g) ==
+          spec.group_cols.end()) {
+        return std::nullopt;
+      }
+    }
+    // Aggregates must be derivable.
+    std::vector<int> agg_map(consumer.canon_aggs.size(), -1);
+    for (size_t i = 0; i < consumer.canon_aggs.size(); ++i) {
+      agg_map[i] = spec_agg_index(consumer.canon_aggs[i]);
+      if (agg_map[i] < 0) return std::nullopt;
+    }
+    sub.need_reagg = consumer.canon_group_cols != spec.group_cols;
+    if (sub.need_reagg) {
+      for (ColId g : consumer.canon_group_cols) {
+        sub.reagg_group_cols.push_back(artifacts.canon_to_spool.at(g));
+      }
+      for (size_t i = 0; i < consumer.canon_aggs.size(); ++i) {
+        ColId src = artifacts.agg_spool_cols[agg_map[i]];
+        DataType type = reg.info(src).type;
+        AggFn fn = ReaggregateFn(consumer.canon_aggs[i].first);
+        ColId out = reg.AddSynthetic("reagg_" + reg.info(src).name, type);
+        sub.reagg_items.push_back({fn, Expr::Column(src, type), out});
+        // (consumer agg i) is produced by this re-aggregate.
+      }
+    }
+    // Resolve each consumer aggregate output column to its source.
+    for (const auto& [output, canon_idx] : consumer.agg_output_to_index) {
+      ColId src = sub.need_reagg
+                      ? sub.reagg_items[canon_idx].output
+                      : artifacts.agg_spool_cols[agg_map[canon_idx]];
+      consumer_agg_source[output] = src;
+    }
+  }
+
+  // Projection back to the consumer's own column ids, for every column the
+  // consumer's parents require.
+  const Group& consumer_group = memo_->group(consumer.group);
+  for (ColId need : consumer_group.required) {
+    auto agg_it = consumer_agg_source.find(need);
+    if (agg_it != consumer_agg_source.end()) {
+      DataType type = reg.info(agg_it->second).type;
+      sub.projections.push_back(
+          {Expr::Column(agg_it->second, type), need});
+      continue;
+    }
+    auto canon_it = consumer.instance_to_canon.find(need);
+    if (canon_it == consumer.instance_to_canon.end()) return std::nullopt;
+    auto spool_it = artifacts.canon_to_spool.find(canon_it->second);
+    if (spool_it == artifacts.canon_to_spool.end()) return std::nullopt;
+    sub.projections.push_back(
+        {Expr::Column(spool_it->second, reg.info(spool_it->second).type),
+         need});
+  }
+  return sub;
+}
+
+void CseMaterializer::Inject(const SubstituteSpec& substitute,
+                             const CseArtifacts& artifacts,
+                             GroupId consumer_group) {
+  GroupId current = artifacts.cseref_group;
+  if (!substitute.compensation.empty()) {
+    current = memo_->InsertExpr(LogicalOp::Filter(substitute.compensation),
+                                {current}, kInvalidGroup, consumer_group);
+  }
+  if (substitute.need_reagg) {
+    current = memo_->InsertExpr(
+        LogicalOp::GroupBy(substitute.reagg_group_cols, substitute.reagg_items),
+        {current}, kInvalidGroup, consumer_group);
+  }
+  memo_->InsertExpr(LogicalOp::Project(substitute.projections), {current},
+                    consumer_group, consumer_group);
+}
+
+}  // namespace subshare

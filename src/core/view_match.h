@@ -1,0 +1,71 @@
+// Candidate materialization and view matching (paper §5.1).
+//
+// Candidate CSEs are treated like materialized views: each candidate gets
+//   - an evaluation expression in the memo (a fresh set of relation
+//     instances, the covering predicate, group-by, and a projection that
+//     defines the spool columns), and
+//   - a CseRef leaf group whose plans read the spool at usage cost C_R.
+// For every (candidate, consumer) pair, MatchConsumer derives the
+// compensation: a residual predicate over spool columns, a re-aggregation
+// when the consumer groups more coarsely, and a projection back to the
+// consumer's own column ids. Inject() adds the substitute expression chain
+// to the consumer's memo group, where it competes cost-based with every
+// other plan.
+//
+// MatchConsumer is also how stacked CSEs (§5.5) arise: groups inside one
+// candidate's evaluation expression can match a narrower candidate.
+#ifndef SUBSHARE_CORE_VIEW_MATCH_H_
+#define SUBSHARE_CORE_VIEW_MATCH_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/candidate_gen.h"
+
+namespace subshare {
+
+// Per-candidate memo artifacts.
+struct CseArtifacts {
+  int cse_id = -1;
+  GroupId eval_root = kInvalidGroup;    // Project group producing the spool
+  GroupId cseref_group = kInvalidGroup; // leaf read by consumers
+  std::vector<ColId> spool_cols;        // ascending; == eval_root output
+  Schema spool_schema;                  // same order as spool_cols
+  std::unordered_map<ColId, ColId> canon_to_spool;  // non-agg outputs
+  std::vector<ColId> agg_spool_cols;    // parallel to spec.aggs
+};
+
+// A compensated rewrite of one consumer in terms of the spool.
+struct SubstituteSpec {
+  std::vector<ExprPtr> compensation;       // over spool columns
+  bool need_reagg = false;
+  std::vector<ColId> reagg_group_cols;     // spool columns
+  std::vector<AggregateItem> reagg_items;  // over spool columns
+  std::vector<ProjectItem> projections;    // -> consumer column ids
+};
+
+class CseMaterializer {
+ public:
+  CseMaterializer(Memo* memo, QueryContext* ctx) : memo_(memo), ctx_(ctx) {}
+
+  // Inserts the candidate's evaluation expression and CseRef group.
+  CseArtifacts Materialize(const CseSpec& spec, int cse_id);
+
+  // View matching: can `consumer` be answered from the candidate? Returns
+  // the compensation plan on success.
+  std::optional<SubstituteSpec> MatchConsumer(const CseSpec& spec,
+                                              const CseArtifacts& artifacts,
+                                              const SpjgNormalForm& consumer);
+
+  // Adds the substitute expression chain to the consumer group.
+  void Inject(const SubstituteSpec& substitute, const CseArtifacts& artifacts,
+              GroupId consumer_group);
+
+ private:
+  Memo* memo_;
+  QueryContext* ctx_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CORE_VIEW_MATCH_H_

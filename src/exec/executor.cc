@@ -1,0 +1,42 @@
+#include "exec/executor.h"
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace subshare {
+
+std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
+                                         ExecutionMetrics* metrics) {
+  WallTimer timer;
+  WorkTableManager work_tables;
+  ExecContext ctx;
+  ctx.work_tables = &work_tables;
+
+  // Materialize each chosen CSE once (paper: the spool operator writes the
+  // result into an internal work table).
+  for (const ExecutablePlan::CsePlan& cse : plan.cse_plans) {
+    WorkTable* wt = work_tables.Create(cse.cse_id, cse.spool_schema);
+    std::vector<Row> rows = RunToVector(*cse.plan, &ctx);
+    ctx.rows_spooled += static_cast<int64_t>(rows.size());
+    for (Row& r : rows) wt->AppendRow(std::move(r));
+  }
+
+  CHECK(plan.root != nullptr);
+  CHECK(plan.root->kind == PhysOpKind::kBatch);
+  std::vector<StatementResult> results;
+  results.reserve(plan.root->children.size());
+  for (const PhysicalNodePtr& stmt : plan.root->children) {
+    StatementResult r;
+    r.rows = RunToVector(*stmt, &ctx);
+    results.push_back(std::move(r));
+  }
+
+  if (metrics != nullptr) {
+    metrics->rows_scanned = ctx.rows_scanned;
+    metrics->rows_spooled = ctx.rows_spooled;
+    metrics->elapsed_seconds = timer.ElapsedSeconds();
+  }
+  return results;
+}
+
+}  // namespace subshare

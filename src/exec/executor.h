@@ -1,0 +1,30 @@
+// Batch execution: materializes chosen CSEs into work tables (in dependency
+// order, so stacked CSEs can read earlier spools), then runs each statement
+// plan.
+#ifndef SUBSHARE_EXEC_EXECUTOR_H_
+#define SUBSHARE_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "physical/operators.h"
+#include "physical/physical_plan.h"
+
+namespace subshare {
+
+struct StatementResult {
+  std::vector<Row> rows;
+};
+
+struct ExecutionMetrics {
+  int64_t rows_scanned = 0;
+  int64_t rows_spooled = 0;
+  double elapsed_seconds = 0;
+};
+
+// Executes `plan`; returns one result per statement in the batch.
+std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
+                                         ExecutionMetrics* metrics = nullptr);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_EXEC_EXECUTOR_H_

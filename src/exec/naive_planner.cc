@@ -1,0 +1,193 @@
+#include "exec/naive_planner.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace subshare {
+
+namespace {
+
+// Extracts from `conjuncts` the hash-join keys and residual predicates that
+// become evaluable when joining `left` and `right`; removes them from
+// `conjuncts`.
+void SplitJoinPredicates(std::vector<ExprPtr>* conjuncts, const Layout& left,
+                         const Layout& right,
+                         std::vector<std::pair<ColId, ColId>>* keys,
+                         std::vector<ExprPtr>* residual) {
+  std::vector<ExprPtr> remaining;
+  for (const ExprPtr& c : *conjuncts) {
+    std::set<ColId> cols;
+    CollectColumns(c, &cols);
+    bool left_ok = true, right_ok = true, combined_ok = true;
+    for (ColId col : cols) {
+      bool in_left = left.IndexOf(col) >= 0;
+      bool in_right = right.IndexOf(col) >= 0;
+      left_ok &= in_left;
+      right_ok &= in_right;
+      combined_ok &= (in_left || in_right);
+    }
+    if (!combined_ok || left_ok || right_ok) {
+      // Not yet evaluable here, or single-sided (stays put: single-sided
+      // conjuncts were already pushed to scans by the binder).
+      remaining.push_back(c);
+      continue;
+    }
+    ColId a, b;
+    if (IsColumnEquality(c, &a, &b)) {
+      if (left.IndexOf(a) >= 0 && right.IndexOf(b) >= 0) {
+        keys->emplace_back(a, b);
+        continue;
+      }
+      if (left.IndexOf(b) >= 0 && right.IndexOf(a) >= 0) {
+        keys->emplace_back(b, a);
+        continue;
+      }
+    }
+    residual->push_back(c);
+  }
+  *conjuncts = std::move(remaining);
+}
+
+PhysicalNodePtr Plan(const LogicalTree& tree, QueryContext* ctx);
+
+PhysicalNodePtr PlanJoinSet(const LogicalTree& tree, QueryContext* ctx) {
+  CHECK(!tree.children.empty());
+  std::vector<ExprPtr> conjuncts = tree.op.conjuncts;
+  PhysicalNodePtr current = Plan(*tree.children[0], ctx);
+  for (size_t i = 1; i < tree.children.size(); ++i) {
+    PhysicalNodePtr right = Plan(*tree.children[i], ctx);
+    std::vector<std::pair<ColId, ColId>> keys;
+    std::vector<ExprPtr> residual;
+    SplitJoinPredicates(&conjuncts, current->output, right->output, &keys,
+                        &residual);
+    std::vector<ColId> concat = current->output.cols();
+    concat.insert(concat.end(), right->output.cols().begin(),
+                  right->output.cols().end());
+    PhysicalNodePtr join;
+    if (!keys.empty()) {
+      join = MakePhysical(PhysOpKind::kHashJoin);
+      join->join_keys = std::move(keys);
+      join->join_residual = CombineConjuncts(residual);
+    } else {
+      join = MakePhysical(PhysOpKind::kNlJoin);
+      join->nl_pred = CombineConjuncts(residual);
+    }
+    join->output = Layout(std::move(concat));
+    join->children = {std::move(current), std::move(right)};
+    current = std::move(join);
+  }
+  if (!conjuncts.empty()) {
+    // Conjuncts that needed all relations (e.g. referencing three tables).
+    auto filter = MakePhysical(PhysOpKind::kFilter);
+    filter->filter = CombineConjuncts(conjuncts);
+    filter->output = current->output;
+    filter->children = {std::move(current)};
+    current = std::move(filter);
+  }
+  return current;
+}
+
+PhysicalNodePtr Plan(const LogicalTree& tree, QueryContext* ctx) {
+  switch (tree.op.kind) {
+    case LogicalOpKind::kGet: {
+      auto scan = MakePhysical(PhysOpKind::kTableScan);
+      scan->table = ctx->catalog()->GetTable(tree.op.table_id);
+      CHECK(scan->table != nullptr);
+      scan->rel_id = tree.op.rel_id;
+      scan->input_cols = ctx->columns().RelationColumns(tree.op.rel_id);
+      scan->output = Layout(scan->input_cols);
+      scan->filter = CombineConjuncts(tree.op.conjuncts);
+      return scan;
+    }
+    case LogicalOpKind::kJoinSet:
+      return PlanJoinSet(tree, ctx);
+    case LogicalOpKind::kJoin: {
+      PhysicalNodePtr left = Plan(*tree.children[0], ctx);
+      PhysicalNodePtr right = Plan(*tree.children[1], ctx);
+      std::vector<ExprPtr> conjuncts = tree.op.conjuncts;
+      std::vector<std::pair<ColId, ColId>> keys;
+      std::vector<ExprPtr> residual;
+      SplitJoinPredicates(&conjuncts, left->output, right->output, &keys,
+                          &residual);
+      CHECK(conjuncts.empty()) << "join conjunct not evaluable";
+      std::vector<ColId> concat = left->output.cols();
+      concat.insert(concat.end(), right->output.cols().begin(),
+                    right->output.cols().end());
+      PhysicalNodePtr join;
+      if (!keys.empty()) {
+        join = MakePhysical(PhysOpKind::kHashJoin);
+        join->join_keys = std::move(keys);
+        join->join_residual = CombineConjuncts(residual);
+      } else {
+        join = MakePhysical(PhysOpKind::kNlJoin);
+        join->nl_pred = CombineConjuncts(residual);
+      }
+      join->output = Layout(std::move(concat));
+      join->children = {std::move(left), std::move(right)};
+      return join;
+    }
+    case LogicalOpKind::kGroupBy: {
+      PhysicalNodePtr child = Plan(*tree.children[0], ctx);
+      auto agg = MakePhysical(PhysOpKind::kHashAgg);
+      agg->group_cols = tree.op.group_cols;
+      agg->aggs = tree.op.aggs;
+      std::vector<ColId> out = tree.op.group_cols;
+      for (const AggregateItem& a : tree.op.aggs) out.push_back(a.output);
+      agg->output = Layout(std::move(out));
+      agg->children = {std::move(child)};
+      return agg;
+    }
+    case LogicalOpKind::kFilter: {
+      PhysicalNodePtr child = Plan(*tree.children[0], ctx);
+      auto filter = MakePhysical(PhysOpKind::kFilter);
+      filter->filter = CombineConjuncts(tree.op.conjuncts);
+      filter->output = child->output;
+      filter->children = {std::move(child)};
+      return filter;
+    }
+    case LogicalOpKind::kProject: {
+      PhysicalNodePtr child = Plan(*tree.children[0], ctx);
+      auto proj = MakePhysical(PhysOpKind::kProject);
+      proj->projections = tree.op.projections;
+      std::vector<ColId> out;
+      for (const ProjectItem& p : tree.op.projections) out.push_back(p.output);
+      proj->output = Layout(std::move(out));
+      proj->children = {std::move(child)};
+      return proj;
+    }
+    case LogicalOpKind::kSort: {
+      PhysicalNodePtr child = Plan(*tree.children[0], ctx);
+      auto sort = MakePhysical(PhysOpKind::kSort);
+      sort->sort_keys = tree.op.sort_keys;
+      sort->limit = tree.op.limit;
+      sort->output = child->output;
+      sort->children = {std::move(child)};
+      return sort;
+    }
+    case LogicalOpKind::kBatch:
+    case LogicalOpKind::kCseRef:
+      CHECK(false) << "unexpected " << LogicalOpKindName(tree.op.kind)
+                   << " in NaivePlanStatement";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PhysicalNodePtr NaivePlanStatement(const LogicalTree& tree,
+                                   QueryContext* ctx) {
+  return Plan(tree, ctx);
+}
+
+ExecutablePlan NaivePlanBatch(const std::vector<Statement>& statements,
+                              QueryContext* ctx) {
+  ExecutablePlan plan;
+  plan.root = MakePhysical(PhysOpKind::kBatch);
+  for (const Statement& s : statements) {
+    plan.root->children.push_back(NaivePlanStatement(*s.root, ctx));
+  }
+  return plan;
+}
+
+}  // namespace subshare

@@ -1,0 +1,86 @@
+#include "expr/aggregate.h"
+
+namespace subshare {
+
+std::string AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "sum";
+    case AggFn::kCount: return "count";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+DataType AggResultType(AggFn fn, DataType arg_type) {
+  switch (fn) {
+    case AggFn::kCount:
+      return DataType::kInt64;
+    case AggFn::kSum:
+      return arg_type == DataType::kDouble ? DataType::kDouble
+                                           : DataType::kInt64;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return arg_type;
+  }
+  return arg_type;
+}
+
+AggFn ReaggregateFn(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      return AggFn::kSum;
+    case AggFn::kMin:
+      return AggFn::kMin;
+    case AggFn::kMax:
+      return AggFn::kMax;
+  }
+  return AggFn::kSum;
+}
+
+void AggAccumulator::Update(const Value& v) {
+  if (v.is_null()) return;
+  switch (fn_) {
+    case AggFn::kCount:
+      ++count_;
+      break;
+    case AggFn::kSum:
+      if (v.type() == DataType::kDouble) {
+        integral_ = false;
+      } else {
+        sum_i_ += v.AsInt64();
+      }
+      sum_ += v.AsDouble();
+      seen_ = true;
+      break;
+    case AggFn::kMin:
+      if (!seen_ || v.Compare(extreme_) < 0) extreme_ = v;
+      seen_ = true;
+      break;
+    case AggFn::kMax:
+      if (!seen_ || v.Compare(extreme_) > 0) extreme_ = v;
+      seen_ = true;
+      break;
+  }
+}
+
+Value AggAccumulator::Final(DataType result_type) const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return Value::Int64(count_);
+    case AggFn::kSum:
+      if (!seen_) return Value::Null(result_type);
+      if (result_type == DataType::kInt64 && integral_) {
+        return Value::Int64(sum_i_);
+      }
+      return Value::Double(sum_);
+    case AggFn::kMin:
+    case AggFn::kMax:
+      if (!seen_) return Value::Null(result_type);
+      return extreme_;
+  }
+  return Value::Null(result_type);
+}
+
+}  // namespace subshare

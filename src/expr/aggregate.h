@@ -1,0 +1,60 @@
+// Aggregate function descriptors and runtime accumulators.
+//
+// AVG is lowered to SUM/COUNT by the SQL binder, so only decomposable
+// aggregates reach the optimizer. Decomposability is what makes both the
+// eager group-by rule and CSE re-aggregation (computing a consumer's
+// aggregate from a covering subexpression's finer-grained aggregate) valid:
+//   SUM -> SUM of partial SUMs, COUNT -> SUM of partial COUNTs,
+//   MIN -> MIN of partial MINs,  MAX -> MAX of partial MAXs.
+#ifndef SUBSHARE_EXPR_AGGREGATE_H_
+#define SUBSHARE_EXPR_AGGREGATE_H_
+
+#include <string>
+
+#include "expr/expr.h"
+
+namespace subshare {
+
+enum class AggFn { kSum, kCount, kMin, kMax };
+
+// One aggregate computed by a GroupBy: fn(arg) AS output.
+struct AggregateItem {
+  AggFn fn = AggFn::kSum;
+  ExprPtr arg;           // nullptr for COUNT(*)
+  ColId output = kInvalidColId;
+};
+
+std::string AggFnName(AggFn fn);
+
+// Result type of fn over an argument of `arg_type`.
+DataType AggResultType(AggFn fn, DataType arg_type);
+
+// The aggregate that combines partial results of `fn` (SUM for SUM/COUNT,
+// MIN for MIN, MAX for MAX).
+AggFn ReaggregateFn(AggFn fn);
+
+// Streaming accumulator for one aggregate over one group.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggFn fn) : fn_(fn) {}
+
+  // Feeds one input value (ignored if null, except COUNT(*) which is fed
+  // a non-null placeholder by the operator).
+  void Update(const Value& v);
+
+  // Final value; COUNT of nothing is 0, others are NULL.
+  Value Final(DataType result_type) const;
+
+ private:
+  AggFn fn_;
+  bool seen_ = false;
+  double sum_ = 0;
+  int64_t sum_i_ = 0;
+  bool integral_ = true;
+  int64_t count_ = 0;
+  Value extreme_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_EXPR_AGGREGATE_H_

@@ -1,0 +1,64 @@
+#include "expr/column.h"
+
+#include "util/check.h"
+
+namespace subshare {
+
+int ColumnRegistry::AddRelation(const Table& table, const std::string& alias) {
+  int rel_id = static_cast<int>(relations_.size());
+  relations_.push_back({table.id(), alias});
+  std::vector<ColId> cols;
+  cols.reserve(table.schema().num_columns());
+  for (int i = 0; i < table.schema().num_columns(); ++i) {
+    const ColumnSchema& cs = table.schema().column(i);
+    ColId id = static_cast<ColId>(columns_.size());
+    columns_.push_back({cs.name, cs.type, rel_id, table.id(), i, false});
+    cols.push_back(id);
+  }
+  relation_columns_.push_back(std::move(cols));
+  return rel_id;
+}
+
+ColId ColumnRegistry::RelationColumn(int rel_id, int column_idx) const {
+  CHECK(rel_id >= 0 && rel_id < static_cast<int>(relation_columns_.size()));
+  const std::vector<ColId>& cols = relation_columns_[rel_id];
+  CHECK(column_idx >= 0 && column_idx < static_cast<int>(cols.size()));
+  return cols[column_idx];
+}
+
+const std::vector<ColId>& ColumnRegistry::RelationColumns(int rel_id) const {
+  CHECK(rel_id >= 0 && rel_id < static_cast<int>(relation_columns_.size()));
+  return relation_columns_[rel_id];
+}
+
+ColId ColumnRegistry::AddSynthetic(std::string name, DataType type) {
+  ColId id = static_cast<ColId>(columns_.size());
+  columns_.push_back({std::move(name), type, -1, -1, -1, false});
+  return id;
+}
+
+ColId ColumnRegistry::InternCanonical(TableId table_id, int column_idx,
+                                      const std::string& name, DataType type) {
+  auto key = std::make_pair(table_id, column_idx);
+  auto it = canonical_.find(key);
+  if (it != canonical_.end()) return it->second;
+  ColId id = static_cast<ColId>(columns_.size());
+  columns_.push_back({name, type, -1, table_id, column_idx, true});
+  canonical_[key] = id;
+  return id;
+}
+
+ColId ColumnRegistry::CanonicalOf(ColId col) {
+  const ColumnInfo& ci = columns_[col];
+  if (ci.is_canonical) return col;
+  if (ci.table_id < 0 || ci.column_idx < 0) return kInvalidColId;
+  return InternCanonical(ci.table_id, ci.column_idx, ci.name, ci.type);
+}
+
+std::string ColumnRegistry::ColumnName(ColId col) const {
+  const ColumnInfo& ci = columns_[col];
+  if (ci.rel_id >= 0) return relations_[ci.rel_id].alias + "." + ci.name;
+  return ci.name;
+}
+
+}  // namespace subshare

@@ -1,0 +1,88 @@
+// Column identity.
+//
+// Every column that can appear in a plan has a globally unique ColId
+// allocated by a ColumnRegistry:
+//   - base columns: one per (relation instance, table column). Two references
+//     to `customer` in a batch are distinct relation instances with distinct
+//     ColIds, which keeps queries in a batch separate in the memo.
+//   - synthetic columns: aggregate outputs and projected expressions.
+//   - canonical columns: one per (table_id, column_idx), interned on demand.
+//     Cross-consumer CSE analysis (equivalence-class intersection, covering
+//     predicates) canonicalizes instance columns to canonical columns, which
+//     is valid because expressions with self-joins are excluded from CSE
+//     consideration (DESIGN.md).
+#ifndef SUBSHARE_EXPR_COLUMN_H_
+#define SUBSHARE_EXPR_COLUMN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/data_type.h"
+#include "util/status.h"
+
+namespace subshare {
+
+using ColId = int;
+constexpr ColId kInvalidColId = -1;
+
+struct ColumnInfo {
+  std::string name;
+  DataType type = DataType::kInt64;
+  int rel_id = -1;       // relation instance, -1 for synthetic/canonical
+  TableId table_id = -1; // base table, set for base and canonical columns
+  int column_idx = -1;   // index in the base table schema, else -1
+  bool is_canonical = false;
+};
+
+// A relation instance: one occurrence of a base table in a query batch.
+struct RelationInfo {
+  TableId table_id = -1;
+  std::string alias;  // display name (table name or SQL alias)
+};
+
+// Allocates and resolves ColIds and relation instance ids for one
+// optimization session (a query batch and everything derived from it,
+// including candidate CSE expressions).
+class ColumnRegistry {
+ public:
+  ColumnRegistry() = default;
+  ColumnRegistry(const ColumnRegistry&) = delete;
+  ColumnRegistry& operator=(const ColumnRegistry&) = delete;
+
+  // Registers a new relation instance of `table`; allocates a ColId for
+  // every column of the table.
+  int AddRelation(const Table& table, const std::string& alias);
+
+  // ColId of column `column_idx` of relation instance `rel_id`.
+  ColId RelationColumn(int rel_id, int column_idx) const;
+  // All ColIds of a relation instance, in table-schema order.
+  const std::vector<ColId>& RelationColumns(int rel_id) const;
+
+  ColId AddSynthetic(std::string name, DataType type);
+
+  // Canonical column for (table_id, column_idx); interned on first use.
+  ColId InternCanonical(TableId table_id, int column_idx,
+                        const std::string& name, DataType type);
+  // Canonical counterpart of a base column, or kInvalidColId for synthetic.
+  ColId CanonicalOf(ColId col);
+
+  const ColumnInfo& info(ColId col) const { return columns_[col]; }
+  const RelationInfo& relation(int rel_id) const { return relations_[rel_id]; }
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  // "alias.col" for base columns, plain name otherwise.
+  std::string ColumnName(ColId col) const;
+
+ private:
+  std::vector<ColumnInfo> columns_;
+  std::vector<RelationInfo> relations_;
+  std::vector<std::vector<ColId>> relation_columns_;
+  std::map<std::pair<TableId, int>, ColId> canonical_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_EXPR_COLUMN_H_

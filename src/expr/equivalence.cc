@@ -1,0 +1,119 @@
+#include "expr/equivalence.h"
+
+#include <algorithm>
+#include <map>
+
+namespace subshare {
+
+ColId EquivalenceClasses::Find(ColId c) const {
+  auto it = parent_.find(c);
+  if (it == parent_.end()) return c;
+  if (it->second == c) return c;
+  ColId root = Find(it->second);
+  it->second = root;  // path compression
+  return root;
+}
+
+void EquivalenceClasses::AddEquality(ColId a, ColId b) {
+  parent_.emplace(a, a);
+  parent_.emplace(b, b);
+  ColId ra = Find(a), rb = Find(b);
+  if (ra == rb) return;
+  if (rb < ra) std::swap(ra, rb);
+  parent_[rb] = ra;
+}
+
+EquivalenceClasses EquivalenceClasses::FromConjuncts(
+    const std::vector<ExprPtr>& conjuncts) {
+  EquivalenceClasses ec;
+  for (const ExprPtr& c : conjuncts) {
+    ColId a, b;
+    if (IsColumnEquality(c, &a, &b)) ec.AddEquality(a, b);
+  }
+  return ec;
+}
+
+bool EquivalenceClasses::AreEquivalent(ColId a, ColId b) const {
+  if (a == b) return true;
+  if (parent_.find(a) == parent_.end() || parent_.find(b) == parent_.end()) {
+    return false;
+  }
+  return Find(a) == Find(b);
+}
+
+std::vector<std::vector<ColId>> EquivalenceClasses::Classes() const {
+  std::map<ColId, std::vector<ColId>> by_root;
+  for (const auto& [col, _] : parent_) by_root[Find(col)].push_back(col);
+  std::vector<std::vector<ColId>> out;
+  for (auto& [root, members] : by_root) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+EquivalenceClasses EquivalenceClasses::Intersect(const EquivalenceClasses& a,
+                                                 const EquivalenceClasses& b) {
+  EquivalenceClasses out;
+  for (const std::vector<ColId>& ca : a.Classes()) {
+    for (const std::vector<ColId>& cb : b.Classes()) {
+      std::vector<ColId> common;
+      std::set_intersection(ca.begin(), ca.end(), cb.begin(), cb.end(),
+                            std::back_inserter(common));
+      for (size_t i = 1; i < common.size(); ++i) {
+        out.AddEquality(common[0], common[i]);
+      }
+    }
+  }
+  return out;
+}
+
+bool EquivalenceClasses::ConnectsNodes(
+    const std::set<int>& nodes,
+    const std::function<int(ColId)>& node_of) const {
+  if (nodes.size() <= 1) return true;
+  // Union-find over nodes driven by the classes.
+  std::map<int, int> parent;
+  for (int n : nodes) parent[n] = n;
+  std::function<int(int)> find = [&](int n) {
+    while (parent[n] != n) {
+      parent[n] = parent[parent[n]];
+      n = parent[n];
+    }
+    return n;
+  };
+  for (const std::vector<ColId>& cls : Classes()) {
+    int first_node = -1;
+    for (ColId c : cls) {
+      int n = node_of(c);
+      if (n < 0 || parent.find(n) == parent.end()) continue;
+      if (first_node < 0) {
+        first_node = n;
+      } else {
+        parent[find(n)] = find(first_node);
+      }
+    }
+  }
+  int root = find(*nodes.begin());
+  for (int n : nodes) {
+    if (find(n) != root) return false;
+  }
+  return true;
+}
+
+std::vector<ExprPtr> EquivalenceClasses::ToConjuncts(
+    const std::function<DataType(ColId)>& type_of) const {
+  std::vector<ExprPtr> out;
+  for (const std::vector<ColId>& cls : Classes()) {
+    for (size_t i = 1; i < cls.size(); ++i) {
+      out.push_back(Expr::Compare(
+          CmpOp::kEq, Expr::Column(cls[i - 1], type_of(cls[i - 1])),
+          Expr::Column(cls[i], type_of(cls[i]))));
+    }
+  }
+  return out;
+}
+
+}  // namespace subshare

@@ -1,0 +1,65 @@
+// Column equivalence classes (paper §4.1).
+//
+// The equijoins of a normalized SPJ expression are summarized by equivalence
+// classes of columns known to be equal in its result. Join compatibility of
+// two expressions (Def. 4.1) is decided by intersecting their classes and
+// checking that the induced equijoin graph over the source tables is
+// connected.
+#ifndef SUBSHARE_EXPR_EQUIVALENCE_H_
+#define SUBSHARE_EXPR_EQUIVALENCE_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace subshare {
+
+class EquivalenceClasses {
+ public:
+  EquivalenceClasses() = default;
+
+  // Records a = b.
+  void AddEquality(ColId a, ColId b);
+
+  // Builds classes from the column-equality conjuncts in `conjuncts`
+  // (other conjuncts are ignored).
+  static EquivalenceClasses FromConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+  // True iff a and b are in one class.
+  bool AreEquivalent(ColId a, ColId b) const;
+
+  // All classes with at least two members, each sorted, classes sorted by
+  // first member (deterministic output).
+  std::vector<std::vector<ColId>> Classes() const;
+
+  // Natural intersection (paper §4.1): for every pair of classes, one from
+  // each side, output their intersection (keeping results of size >= 2).
+  static EquivalenceClasses Intersect(const EquivalenceClasses& a,
+                                      const EquivalenceClasses& b);
+
+  // True iff the equijoin graph induced by these classes connects all nodes
+  // in `nodes`, where `node_of` maps a column to its table node (or -1 to
+  // ignore the column). Definition 4.1's connectivity test.
+  bool ConnectsNodes(const std::set<int>& nodes,
+                     const std::function<int(ColId)>& node_of) const;
+
+  // Minimal equality conjuncts implied by the classes (k-1 per class of
+  // size k, chaining sorted members). `type_of` supplies column types.
+  std::vector<ExprPtr> ToConjuncts(
+      const std::function<DataType(ColId)>& type_of) const;
+
+  bool empty() const { return parent_.empty(); }
+
+ private:
+  ColId Find(ColId c) const;
+
+  // Union-find; only columns that appeared in an equality are present.
+  mutable std::map<ColId, ColId> parent_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_EXPR_EQUIVALENCE_H_

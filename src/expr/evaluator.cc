@@ -1,0 +1,111 @@
+#include "expr/evaluator.h"
+
+#include "util/check.h"
+
+namespace subshare {
+
+int Layout::IndexOf(ColId col) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i] == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Layout::ContainsAll(const std::set<ColId>& cols) const {
+  for (ColId c : cols) {
+    if (IndexOf(c) < 0) return false;
+  }
+  return true;
+}
+
+ExprPtr BindExpr(const ExprPtr& e, const Layout& layout) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == ExprKind::kColumn) {
+    int idx = layout.IndexOf(e->column);
+    CHECK(idx >= 0) << "column c" << e->column << " missing from layout";
+    return Expr::Bound(idx, e->type);
+  }
+  if (e->children.empty()) return e;
+  std::vector<ExprPtr> children;
+  children.reserve(e->children.size());
+  for (const ExprPtr& c : e->children) children.push_back(BindExpr(c, layout));
+  auto copy = std::make_shared<Expr>(*e);
+  copy->children = std::move(children);
+  return copy;
+}
+
+Value EvalExpr(const ExprPtr& e, const Row& row) {
+  DCHECK(e != nullptr);
+  switch (e->kind) {
+    case ExprKind::kBoundColumn:
+      DCHECK(e->bound_index >= 0 &&
+             e->bound_index < static_cast<int>(row.size()));
+      return row[e->bound_index];
+    case ExprKind::kColumn:
+      CHECK(false) << "unbound column in EvalExpr";
+      return Value();
+    case ExprKind::kLiteral:
+      return e->literal;
+    case ExprKind::kComparison: {
+      Value l = EvalExpr(e->children[0], row);
+      Value r = EvalExpr(e->children[1], row);
+      if (l.is_null() || r.is_null()) return Value::Bool(false);
+      int c = l.Compare(r);
+      switch (e->cmp) {
+        case CmpOp::kEq: return Value::Bool(c == 0);
+        case CmpOp::kNe: return Value::Bool(c != 0);
+        case CmpOp::kLt: return Value::Bool(c < 0);
+        case CmpOp::kLe: return Value::Bool(c <= 0);
+        case CmpOp::kGt: return Value::Bool(c > 0);
+        case CmpOp::kGe: return Value::Bool(c >= 0);
+      }
+      return Value::Bool(false);
+    }
+    case ExprKind::kAnd:
+      for (const ExprPtr& c : e->children) {
+        if (!EvalExpr(c, row).AsBool()) return Value::Bool(false);
+      }
+      return Value::Bool(true);
+    case ExprKind::kOr:
+      for (const ExprPtr& c : e->children) {
+        if (EvalExpr(c, row).AsBool()) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    case ExprKind::kNot:
+      return Value::Bool(!EvalExpr(e->children[0], row).AsBool());
+    case ExprKind::kArith: {
+      Value l = EvalExpr(e->children[0], row);
+      Value r = EvalExpr(e->children[1], row);
+      if (l.is_null() || r.is_null()) return Value::Null(e->type);
+      if (e->type == DataType::kInt64) {
+        int64_t a = l.AsInt64(), b = r.AsInt64();
+        switch (e->arith) {
+          case ArithOp::kAdd: return Value::Int64(a + b);
+          case ArithOp::kSub: return Value::Int64(a - b);
+          case ArithOp::kMul: return Value::Int64(a * b);
+          case ArithOp::kDiv:
+            if (b == 0) return Value::Null(DataType::kInt64);
+            return Value::Int64(a / b);
+        }
+      }
+      double a = l.AsDouble(), b = r.AsDouble();
+      switch (e->arith) {
+        case ArithOp::kAdd: return Value::Double(a + b);
+        case ArithOp::kSub: return Value::Double(a - b);
+        case ArithOp::kMul: return Value::Double(a * b);
+        case ArithOp::kDiv:
+          if (b == 0) return Value::Null(DataType::kDouble);
+          return Value::Double(a / b);
+      }
+      return Value::Null(e->type);
+    }
+  }
+  return Value();
+}
+
+bool EvalPredicate(const ExprPtr& e, const Row& row) {
+  if (e == nullptr) return true;
+  return EvalExpr(e, row).AsBool();
+}
+
+}  // namespace subshare

@@ -1,0 +1,49 @@
+// Expression binding and evaluation against row layouts.
+//
+// A Layout is the ordered list of ColIds an operator's output rows carry.
+// BindExpr rewrites kColumn references to kBoundColumn row indexes; EvalExpr
+// then evaluates a bound tree against a Row.
+#ifndef SUBSHARE_EXPR_EVALUATOR_H_
+#define SUBSHARE_EXPR_EVALUATOR_H_
+
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace subshare {
+
+// Ordered output columns of an operator.
+class Layout {
+ public:
+  Layout() = default;
+  explicit Layout(std::vector<ColId> cols) : cols_(std::move(cols)) {}
+
+  int size() const { return static_cast<int>(cols_.size()); }
+  ColId col(int i) const { return cols_[i]; }
+  const std::vector<ColId>& cols() const { return cols_; }
+
+  // Index of `col` in this layout, or -1.
+  int IndexOf(ColId col) const;
+
+  // True if every column in `cols` is present.
+  bool ContainsAll(const std::set<ColId>& cols) const;
+
+ private:
+  std::vector<ColId> cols_;
+};
+
+// Rewrites kColumn -> kBoundColumn using `layout`. CHECK-fails if a
+// referenced column is missing (plans must be column-complete).
+ExprPtr BindExpr(const ExprPtr& e, const Layout& layout);
+
+// Evaluates a bound expression. Comparison/logic honor SQL-ish null
+// semantics reduced to two-valued logic: any comparison with NULL is false;
+// NOT(false)=true.
+Value EvalExpr(const ExprPtr& e, const Row& row);
+
+// Convenience: true iff the bound predicate evaluates to true.
+bool EvalPredicate(const ExprPtr& e, const Row& row);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_EXPR_EVALUATOR_H_

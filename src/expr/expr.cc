@@ -1,0 +1,311 @@
+#include "expr/expr.h"
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace subshare {
+
+namespace {
+
+std::shared_ptr<Expr> NewExpr(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return CmpOp::kEq;
+    case CmpOp::kNe: return CmpOp::kNe;
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+  }
+  return op;
+}
+
+const char* CmpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+void Flatten(ExprKind kind, const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind == kind) {
+    for (const ExprPtr& c : e->children) Flatten(kind, c, out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+}  // namespace
+
+ExprPtr Expr::Column(ColId col, DataType type) {
+  auto e = NewExpr(ExprKind::kColumn);
+  e->column = col;
+  e->type = type;
+  return e;
+}
+
+ExprPtr Expr::Bound(int index, DataType type) {
+  auto e = NewExpr(ExprKind::kBoundColumn);
+  e->bound_index = index;
+  e->type = type;
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = NewExpr(ExprKind::kLiteral);
+  e->type = v.type();
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  // Canonical form: if the left side is a literal and the right is not,
+  // flip so matching logic only handles "expr op literal".
+  if (lhs->kind == ExprKind::kLiteral && rhs->kind != ExprKind::kLiteral) {
+    std::swap(lhs, rhs);
+    op = FlipCmp(op);
+  }
+  // Canonical column order for commutative equality/inequality, so that
+  // a=b and b=a fingerprint identically.
+  if ((op == CmpOp::kEq || op == CmpOp::kNe) &&
+      lhs->kind == ExprKind::kColumn && rhs->kind == ExprKind::kColumn &&
+      rhs->column < lhs->column) {
+    std::swap(lhs, rhs);
+  }
+  auto e = NewExpr(ExprKind::kComparison);
+  e->cmp = op;
+  e->type = DataType::kBool;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(std::vector<ExprPtr> conjuncts) {
+  std::vector<ExprPtr> flat;
+  for (const ExprPtr& c : conjuncts) Flatten(ExprKind::kAnd, c, &flat);
+  if (flat.size() == 1) return flat[0];
+  auto e = NewExpr(ExprKind::kAnd);
+  e->type = DataType::kBool;
+  e->children = std::move(flat);
+  return e;
+}
+
+ExprPtr Expr::Or(std::vector<ExprPtr> disjuncts) {
+  std::vector<ExprPtr> flat;
+  for (const ExprPtr& c : disjuncts) Flatten(ExprKind::kOr, c, &flat);
+  if (flat.size() == 1) return flat[0];
+  auto e = NewExpr(ExprKind::kOr);
+  e->type = DataType::kBool;
+  e->children = std::move(flat);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  auto e = NewExpr(ExprKind::kNot);
+  e->type = DataType::kBool;
+  e->children = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = NewExpr(ExprKind::kArith);
+  e->arith = op;
+  e->type = ArithResultType(lhs->type, rhs->type);
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+DataType ArithResultType(DataType a, DataType b) {
+  if (a == DataType::kDouble || b == DataType::kDouble) {
+    return DataType::kDouble;
+  }
+  return DataType::kInt64;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::kColumn:
+      return a->column == b->column;
+    case ExprKind::kBoundColumn:
+      return a->bound_index == b->bound_index;
+    case ExprKind::kLiteral:
+      return a->literal.type() == b->literal.type() &&
+             a->literal.is_null() == b->literal.is_null() &&
+             (a->literal.is_null() || a->literal == b->literal);
+    case ExprKind::kComparison:
+      if (a->cmp != b->cmp) return false;
+      break;
+    case ExprKind::kArith:
+      if (a->arith != b->arith) return false;
+      break;
+    default:
+      break;
+  }
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!ExprEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+size_t ExprHash(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  size_t seed = static_cast<size_t>(e->kind) * 0x9e3779b9;
+  switch (e->kind) {
+    case ExprKind::kColumn:
+      HashValue(&seed, e->column);
+      break;
+    case ExprKind::kBoundColumn:
+      HashValue(&seed, e->bound_index);
+      break;
+    case ExprKind::kLiteral:
+      HashCombine(&seed, e->literal.Hash());
+      break;
+    case ExprKind::kComparison:
+      HashValue(&seed, static_cast<int>(e->cmp));
+      break;
+    case ExprKind::kArith:
+      HashValue(&seed, static_cast<int>(e->arith));
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : e->children) HashCombine(&seed, ExprHash(c));
+  return seed;
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred) {
+  std::vector<ExprPtr> out;
+  if (pred != nullptr) Flatten(ExprKind::kAnd, pred, &out);
+  return out;
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  if (conjuncts.size() == 1) return conjuncts[0];
+  return Expr::And(conjuncts);
+}
+
+void CollectColumns(const ExprPtr& e, std::set<ColId>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kColumn) out->insert(e->column);
+  for (const ExprPtr& c : e->children) CollectColumns(c, out);
+}
+
+std::set<ColId> CollectColumns(const std::vector<ExprPtr>& exprs) {
+  std::set<ColId> out;
+  for (const ExprPtr& e : exprs) CollectColumns(e, &out);
+  return out;
+}
+
+bool IsColumnEquality(const ExprPtr& e, ColId* a, ColId* b) {
+  if (e == nullptr || e->kind != ExprKind::kComparison ||
+      e->cmp != CmpOp::kEq) {
+    return false;
+  }
+  const ExprPtr& l = e->children[0];
+  const ExprPtr& r = e->children[1];
+  if (l->kind != ExprKind::kColumn || r->kind != ExprKind::kColumn) {
+    return false;
+  }
+  *a = l->column;
+  *b = r->column;
+  return true;
+}
+
+bool IsColumnVsConstant(const ExprPtr& e, ColId* col, CmpOp* op,
+                        Value* constant) {
+  if (e == nullptr || e->kind != ExprKind::kComparison) return false;
+  const ExprPtr& l = e->children[0];
+  const ExprPtr& r = e->children[1];
+  if (l->kind != ExprKind::kColumn || r->kind != ExprKind::kLiteral) {
+    return false;
+  }
+  *col = l->column;
+  *op = e->cmp;
+  *constant = r->literal;
+  return true;
+}
+
+ExprPtr RemapColumns(const ExprPtr& e,
+                     const std::function<ColId(ColId)>& remap) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == ExprKind::kColumn) {
+    ColId mapped = remap(e->column);
+    if (mapped == e->column) return e;
+    return Expr::Column(mapped, e->type);
+  }
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(e->children.size());
+  for (const ExprPtr& c : e->children) {
+    ExprPtr mapped = RemapColumns(c, remap);
+    changed |= (mapped != c);
+    children.push_back(std::move(mapped));
+  }
+  if (!changed) return e;
+  auto copy = std::make_shared<Expr>(*e);
+  copy->children = std::move(children);
+  return copy;
+}
+
+std::string ExprToString(const ExprPtr& e,
+                         const std::function<std::string(ColId)>& name) {
+  if (e == nullptr) return "true";
+  auto col_name = [&](ColId c) {
+    return name ? name(c) : "c" + std::to_string(c);
+  };
+  switch (e->kind) {
+    case ExprKind::kColumn:
+      return col_name(e->column);
+    case ExprKind::kBoundColumn:
+      return "$" + std::to_string(e->bound_index);
+    case ExprKind::kLiteral:
+      return e->literal.type() == DataType::kString
+                 ? "'" + e->literal.ToString() + "'"
+                 : e->literal.ToString();
+    case ExprKind::kComparison:
+      return ExprToString(e->children[0], name) + " " + CmpName(e->cmp) +
+             " " + ExprToString(e->children[1], name);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(e->children.size());
+      for (const ExprPtr& c : e->children) {
+        parts.push_back("(" + ExprToString(c, name) + ")");
+      }
+      return Join(parts, e->kind == ExprKind::kAnd ? " AND " : " OR ");
+    }
+    case ExprKind::kNot:
+      return "NOT (" + ExprToString(e->children[0], name) + ")";
+    case ExprKind::kArith:
+      return "(" + ExprToString(e->children[0], name) + " " +
+             ArithName(e->arith) + " " + ExprToString(e->children[1], name) +
+             ")";
+  }
+  return "?";
+}
+
+}  // namespace subshare

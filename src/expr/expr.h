@@ -1,0 +1,96 @@
+// Scalar expression trees.
+//
+// Expressions are immutable after construction and shared via ExprPtr.
+// The binder produces trees over ColIds; the executor "binds" them against a
+// row layout (kColumn -> kBoundColumn) before evaluation.
+#ifndef SUBSHARE_EXPR_EXPR_H_
+#define SUBSHARE_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/column.h"
+#include "types/value.h"
+
+namespace subshare {
+
+enum class ExprKind {
+  kColumn,       // reference to a ColId
+  kBoundColumn,  // resolved row index (execution only)
+  kLiteral,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kArith,
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind;
+  DataType type = DataType::kBool;
+
+  ColId column = kInvalidColId;    // kColumn
+  int bound_index = -1;            // kBoundColumn
+  Value literal;                   // kLiteral
+  CmpOp cmp = CmpOp::kEq;          // kComparison
+  ArithOp arith = ArithOp::kAdd;   // kArith
+  std::vector<ExprPtr> children;
+
+  // --- Factories ---
+  static ExprPtr Column(ColId col, DataType type);
+  static ExprPtr Bound(int index, DataType type);
+  static ExprPtr Literal(Value v);
+  // Canonicalizes literal-vs-column comparisons to put the column first.
+  static ExprPtr Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(std::vector<ExprPtr> conjuncts);  // flattens nested ANDs
+  static ExprPtr Or(std::vector<ExprPtr> disjuncts);   // flattens nested ORs
+  static ExprPtr Not(ExprPtr child);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+};
+
+// Structural equality / hashing (used by the memo and predicate matching).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+size_t ExprHash(const ExprPtr& e);
+
+// Splits top-level AND into conjuncts; a null expr yields no conjuncts.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred);
+// AND of `conjuncts`; nullptr when empty, the sole conjunct when singular.
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+// All ColIds referenced by `e` (appended to `out`).
+void CollectColumns(const ExprPtr& e, std::set<ColId>* out);
+std::set<ColId> CollectColumns(const std::vector<ExprPtr>& exprs);
+
+// True iff `e` is `colA = colB`; outputs the two columns.
+bool IsColumnEquality(const ExprPtr& e, ColId* a, ColId* b);
+
+// True iff `e` is `col cmp literal`; outputs the parts.
+bool IsColumnVsConstant(const ExprPtr& e, ColId* col, CmpOp* op,
+                        Value* constant);
+
+// Rewrites every kColumn through `remap`. `remap` must return a valid ColId
+// (or the same id) for every referenced column.
+ExprPtr RemapColumns(const ExprPtr& e,
+                     const std::function<ColId(ColId)>& remap);
+
+// Pretty-printer; `name` resolves ColIds (defaults to "c<id>").
+std::string ExprToString(const ExprPtr& e,
+                         const std::function<std::string(ColId)>& name = {});
+
+// Result type of an arithmetic application given operand types.
+DataType ArithResultType(DataType a, DataType b);
+
+// Estimated selectivity bucket helpers live in optimizer/cardinality.
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_EXPR_EXPR_H_

@@ -1,0 +1,171 @@
+#include "expr/implication.h"
+
+namespace subshare {
+
+namespace {
+
+// Is x (in the premise range) guaranteed to satisfy `op constant`?
+bool RangeSatisfies(const ValueRange& r, CmpOp op, const Value& c) {
+  if (r.contradictory) return true;  // empty set satisfies everything
+  const bool has_lo = r.lo.has_value();
+  const bool has_hi = r.hi.has_value();
+  switch (op) {
+    case CmpOp::kLt:
+      return has_hi && (r.hi->Compare(c) < 0 ||
+                        (r.hi->Compare(c) == 0 && !r.hi_inclusive));
+    case CmpOp::kLe:
+      return has_hi && r.hi->Compare(c) <= 0;
+    case CmpOp::kGt:
+      return has_lo && (r.lo->Compare(c) > 0 ||
+                        (r.lo->Compare(c) == 0 && !r.lo_inclusive));
+    case CmpOp::kGe:
+      return has_lo && r.lo->Compare(c) >= 0;
+    case CmpOp::kEq:
+      return has_lo && has_hi && r.lo_inclusive && r.hi_inclusive &&
+             r.lo->Compare(c) == 0 && r.hi->Compare(c) == 0;
+    case CmpOp::kNe:
+      // Implied when the whole range lies strictly on one side of c.
+      return (has_hi && (r.hi->Compare(c) < 0 ||
+                         (r.hi->Compare(c) == 0 && !r.hi_inclusive))) ||
+             (has_lo && (r.lo->Compare(c) > 0 ||
+                         (r.lo->Compare(c) == 0 && !r.lo_inclusive)));
+  }
+  return false;
+}
+
+}  // namespace
+
+void ValueRange::Apply(CmpOp op, const Value& constant) {
+  switch (op) {
+    case CmpOp::kLt:
+      if (!hi || constant.Compare(*hi) < 0 ||
+          (constant.Compare(*hi) == 0 && hi_inclusive)) {
+        hi = constant;
+        hi_inclusive = false;
+      }
+      break;
+    case CmpOp::kLe:
+      if (!hi || constant.Compare(*hi) < 0) {
+        hi = constant;
+        hi_inclusive = true;
+      }
+      break;
+    case CmpOp::kGt:
+      if (!lo || constant.Compare(*lo) > 0 ||
+          (constant.Compare(*lo) == 0 && lo_inclusive)) {
+        lo = constant;
+        lo_inclusive = false;
+      }
+      break;
+    case CmpOp::kGe:
+      if (!lo || constant.Compare(*lo) > 0) {
+        lo = constant;
+        lo_inclusive = true;
+      }
+      break;
+    case CmpOp::kEq:
+      Apply(CmpOp::kLe, constant);
+      Apply(CmpOp::kGe, constant);
+      break;
+    case CmpOp::kNe:
+      break;  // carries no interval information
+  }
+  if (lo && hi) {
+    int c = lo->Compare(*hi);
+    if (c > 0 || (c == 0 && (!lo_inclusive || !hi_inclusive))) {
+      contradictory = true;
+    }
+  }
+}
+
+ValueRange DeriveRange(const std::vector<ExprPtr>& premise, ColId col,
+                       const EquivalenceClasses* eq) {
+  ValueRange range;
+  for (const ExprPtr& conj : premise) {
+    ColId c;
+    CmpOp op;
+    Value constant;
+    if (!IsColumnVsConstant(conj, &c, &op, &constant)) continue;
+    bool applies = (c == col) || (eq != nullptr && eq->AreEquivalent(c, col));
+    if (applies) range.Apply(op, constant);
+  }
+  return range;
+}
+
+bool ImpliesConjunct(const std::vector<ExprPtr>& premise,
+                     const ExprPtr& target, const EquivalenceClasses* eq) {
+  if (target == nullptr) return true;
+
+  // 1. Structural match against any premise conjunct.
+  for (const ExprPtr& p : premise) {
+    if (ExprEquals(p, target)) return true;
+  }
+
+  // 2. Column equality via equivalence classes.
+  {
+    ColId a, b;
+    if (IsColumnEquality(target, &a, &b)) {
+      return eq != nullptr && eq->AreEquivalent(a, b);
+    }
+  }
+
+  // 3. Range reasoning for column-vs-constant targets.
+  {
+    ColId col;
+    CmpOp op;
+    Value constant;
+    if (IsColumnVsConstant(target, &col, &op, &constant)) {
+      ValueRange range = DeriveRange(premise, col, eq);
+      if (RangeSatisfies(range, op, constant)) return true;
+    }
+  }
+
+  // 4. Disjunctive target: premise implies OR(d1..dn) if it implies some di
+  //    (each di may itself be a conjunction).
+  if (target->kind == ExprKind::kOr) {
+    for (const ExprPtr& d : target->children) {
+      if (ImpliesAll(premise, SplitConjuncts(d), eq)) return true;
+    }
+    return false;
+  }
+
+  // 5. Conjunctive target: all parts must be implied.
+  if (target->kind == ExprKind::kAnd) {
+    return ImpliesAll(premise, target->children, eq);
+  }
+
+  return false;
+}
+
+std::vector<ExprPtr> RangeToConjuncts(ColId col, DataType type,
+                                      const ValueRange& range) {
+  std::vector<ExprPtr> out;
+  if (range.lo && range.hi && range.lo_inclusive && range.hi_inclusive &&
+      range.lo->Compare(*range.hi) == 0) {
+    out.push_back(Expr::Compare(CmpOp::kEq, Expr::Column(col, type),
+                                Expr::Literal(*range.lo)));
+    return out;
+  }
+  if (range.lo) {
+    out.push_back(Expr::Compare(range.lo_inclusive ? CmpOp::kGe : CmpOp::kGt,
+                                Expr::Column(col, type),
+                                Expr::Literal(*range.lo)));
+  }
+  if (range.hi) {
+    out.push_back(Expr::Compare(range.hi_inclusive ? CmpOp::kLe : CmpOp::kLt,
+                                Expr::Column(col, type),
+                                Expr::Literal(*range.hi)));
+  }
+  return out;
+}
+
+bool ImpliesAll(const std::vector<ExprPtr>& premise,
+                const std::vector<ExprPtr>& targets,
+                const EquivalenceClasses* eq) {
+  for (const ExprPtr& t : targets) {
+    if (!ImpliesConjunct(premise, t, eq)) return false;
+  }
+  return true;
+}
+
+}  // namespace subshare

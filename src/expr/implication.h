@@ -1,0 +1,59 @@
+// Predicate implication tests.
+//
+// Used when matching consumers against covering subexpressions: a consumer
+// may use a CSE only if the consumer's predicate implies the CSE's predicate
+// (the CSE retains every row the consumer needs); conjuncts of the consumer
+// predicate that are already implied by the CSE predicate need no
+// compensation.
+//
+// The test is sound but incomplete (it may answer "not implied" for implied
+// predicates): it understands structural equality, column equivalence, range
+// reasoning over column-vs-constant conjuncts, and disjunction on the target
+// side. That mirrors the fragment the paper's construction produces (common
+// equijoins + OR of simplified consumer predicates).
+#ifndef SUBSHARE_EXPR_IMPLICATION_H_
+#define SUBSHARE_EXPR_IMPLICATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "expr/equivalence.h"
+#include "expr/expr.h"
+
+namespace subshare {
+
+// A one-column interval derived from conjuncts.
+struct ValueRange {
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+  bool contradictory = false;  // e.g. x > 5 AND x < 3
+
+  // Narrows this range with `op const`.
+  void Apply(CmpOp op, const Value& constant);
+};
+
+// Interval of `col` implied by `premise` (consulting `eq` so that conjuncts
+// on equivalent columns contribute; pass nullptr to match only `col`).
+ValueRange DeriveRange(const std::vector<ExprPtr>& premise, ColId col,
+                       const EquivalenceClasses* eq);
+
+// True iff `premise` (a conjunction) implies `target`.
+bool ImpliesConjunct(const std::vector<ExprPtr>& premise,
+                     const ExprPtr& target, const EquivalenceClasses* eq);
+
+// True iff `premise` implies every conjunct in `targets`.
+bool ImpliesAll(const std::vector<ExprPtr>& premise,
+                const std::vector<ExprPtr>& targets,
+                const EquivalenceClasses* eq);
+
+// Renders a ValueRange back into comparison conjuncts on `col` (empty for
+// an unbounded range). Used to estimate selectivity of index ranges and to
+// emit simplified covering predicates.
+std::vector<ExprPtr> RangeToConjuncts(ColId col, DataType type,
+                                      const ValueRange& range);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_EXPR_IMPLICATION_H_

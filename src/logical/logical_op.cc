@@ -1,0 +1,225 @@
+#include "logical/logical_op.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace subshare {
+
+namespace {
+
+// Order-insensitive hash of a conjunct list (rules may produce the same
+// conjuncts in different orders).
+size_t ConjunctSetHash(const std::vector<ExprPtr>& conjuncts) {
+  size_t combined = 0x1234567;
+  for (const ExprPtr& c : conjuncts) combined ^= ExprHash(c);
+  return combined;
+}
+
+bool ConjunctSetEquals(const std::vector<ExprPtr>& a,
+                       const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const ExprPtr& x : a) {
+    bool found = false;
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && ExprEquals(x, b[j])) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LogicalOp LogicalOp::Get(int rel_id, TableId table_id,
+                         std::vector<ExprPtr> conjuncts) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kGet;
+  op.rel_id = rel_id;
+  op.table_id = table_id;
+  op.conjuncts = std::move(conjuncts);
+  return op;
+}
+
+LogicalOp LogicalOp::JoinSet(std::vector<ExprPtr> conjuncts) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kJoinSet;
+  op.conjuncts = std::move(conjuncts);
+  return op;
+}
+
+LogicalOp LogicalOp::Join(std::vector<ExprPtr> conjuncts) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kJoin;
+  op.conjuncts = std::move(conjuncts);
+  return op;
+}
+
+LogicalOp LogicalOp::GroupBy(std::vector<ColId> group_cols,
+                             std::vector<AggregateItem> aggs) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kGroupBy;
+  op.group_cols = std::move(group_cols);
+  op.aggs = std::move(aggs);
+  return op;
+}
+
+LogicalOp LogicalOp::Filter(std::vector<ExprPtr> conjuncts) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kFilter;
+  op.conjuncts = std::move(conjuncts);
+  return op;
+}
+
+LogicalOp LogicalOp::Project(std::vector<ProjectItem> items) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kProject;
+  op.projections = std::move(items);
+  return op;
+}
+
+LogicalOp LogicalOp::Sort(std::vector<SortKey> keys, int64_t limit) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kSort;
+  op.sort_keys = std::move(keys);
+  op.limit = limit;
+  return op;
+}
+
+LogicalOp LogicalOp::Batch() {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kBatch;
+  return op;
+}
+
+LogicalOp LogicalOp::CseRef(int cse_id, std::vector<ColId> output) {
+  LogicalOp op;
+  op.kind = LogicalOpKind::kCseRef;
+  op.cse_id = cse_id;
+  op.cse_output = std::move(output);
+  return op;
+}
+
+size_t LogicalOp::PayloadHash() const {
+  size_t seed = static_cast<size_t>(kind) * 0x9e3779b9;
+  HashValue(&seed, rel_id);
+  HashValue(&seed, cse_id);
+  HashCombine(&seed, ConjunctSetHash(conjuncts));
+  HashRange(&seed, group_cols);
+  for (const AggregateItem& a : aggs) {
+    HashValue(&seed, static_cast<int>(a.fn));
+    HashCombine(&seed, ExprHash(a.arg));
+    HashValue(&seed, a.output);
+  }
+  for (const ProjectItem& p : projections) {
+    HashCombine(&seed, ExprHash(p.expr));
+    HashValue(&seed, p.output);
+  }
+  for (const SortKey& k : sort_keys) {
+    HashValue(&seed, k.col);
+    HashValue(&seed, k.descending);
+  }
+  HashRange(&seed, cse_output);
+  HashValue(&seed, limit);
+  return seed;
+}
+
+bool LogicalOp::PayloadEquals(const LogicalOp& other) const {
+  if (kind != other.kind || rel_id != other.rel_id ||
+      cse_id != other.cse_id || group_cols != other.group_cols ||
+      cse_output != other.cse_output || limit != other.limit) {
+    return false;
+  }
+  if (!ConjunctSetEquals(conjuncts, other.conjuncts)) return false;
+  if (aggs.size() != other.aggs.size() ||
+      projections.size() != other.projections.size() ||
+      sort_keys.size() != other.sort_keys.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].fn != other.aggs[i].fn ||
+        aggs[i].output != other.aggs[i].output ||
+        !ExprEquals(aggs[i].arg, other.aggs[i].arg)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < projections.size(); ++i) {
+    if (projections[i].output != other.projections[i].output ||
+        !ExprEquals(projections[i].expr, other.projections[i].expr)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < sort_keys.size(); ++i) {
+    if (sort_keys[i].col != other.sort_keys[i].col ||
+        sort_keys[i].descending != other.sort_keys[i].descending) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* LogicalOpKindName(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kGet: return "Get";
+    case LogicalOpKind::kJoinSet: return "JoinSet";
+    case LogicalOpKind::kJoin: return "Join";
+    case LogicalOpKind::kGroupBy: return "GroupBy";
+    case LogicalOpKind::kFilter: return "Filter";
+    case LogicalOpKind::kProject: return "Project";
+    case LogicalOpKind::kSort: return "Sort";
+    case LogicalOpKind::kBatch: return "Batch";
+    case LogicalOpKind::kCseRef: return "CseRef";
+  }
+  return "?";
+}
+
+std::string LogicalOp::ToString(
+    const std::function<std::string(ColId)>& name) const {
+  auto col_name = [&](ColId c) {
+    return name ? name(c) : "c" + std::to_string(c);
+  };
+  std::string out = LogicalOpKindName(kind);
+  switch (kind) {
+    case LogicalOpKind::kGet:
+      out += StrFormat("(rel=%d)", rel_id);
+      break;
+    case LogicalOpKind::kCseRef:
+      out += StrFormat("(cse=%d)", cse_id);
+      break;
+    case LogicalOpKind::kGroupBy: {
+      std::vector<std::string> g;
+      for (ColId c : group_cols) g.push_back(col_name(c));
+      std::vector<std::string> a;
+      for (const AggregateItem& item : aggs) {
+        a.push_back(AggFnName(item.fn) + "(" +
+                    (item.arg ? ExprToString(item.arg, name) : "*") + ")");
+      }
+      out += "[" + ::subshare::Join(g, ",") + "; " + ::subshare::Join(a, ",") + "]";
+      break;
+    }
+    default:
+      break;
+  }
+  if (!conjuncts.empty()) {
+    std::vector<std::string> parts;
+    for (const ExprPtr& c : conjuncts) parts.push_back(ExprToString(c, name));
+    out += " {" + ::subshare::Join(parts, " AND ") + "}";
+  }
+  return out;
+}
+
+std::string LogicalTree::ToString(
+    const std::function<std::string(ColId)>& name, int indent) const {
+  std::string out(indent * 2, ' ');
+  out += op.ToString(name) + "\n";
+  for (const auto& c : children) out += c->ToString(name, indent + 1);
+  return out;
+}
+
+}  // namespace subshare

@@ -1,0 +1,114 @@
+// Logical operator algebra.
+//
+// A LogicalOp is pure payload (no children); it is paired with child links
+// either as a LogicalTree (binder output) or as a memo group expression
+// (optimizer). Query blocks normalize to
+//     Project( Filter?( Sort?( GroupBy?( JoinSet | Get ))))
+// with local single-relation conjuncts pushed into Get and multi-relation
+// conjuncts kept in JoinSet. Binary Join expressions are produced from
+// JoinSet by the exploration rules; CseRef expressions are injected by the
+// CSE optimization phase (paper Step 3).
+#ifndef SUBSHARE_LOGICAL_LOGICAL_OP_H_
+#define SUBSHARE_LOGICAL_LOGICAL_OP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+
+namespace subshare {
+
+enum class LogicalOpKind {
+  kGet,      // base relation instance + local conjuncts
+  kJoinSet,  // n-ary join of member groups + connecting conjuncts
+  kJoin,     // binary join (from JoinSet expansion, or a bare cross join)
+  kGroupBy,  // grouping columns + aggregates
+  kFilter,   // residual predicate (e.g. HAVING)
+  kProject,  // output shaping
+  kSort,     // ORDER BY (top of a statement)
+  kBatch,    // ties the statements of a batch together (paper footnote 1)
+  kCseRef,   // reads the spooled result of candidate CSE `cse_id`
+};
+
+struct ProjectItem {
+  ExprPtr expr;
+  ColId output = kInvalidColId;
+};
+
+struct SortKey {
+  ColId col = kInvalidColId;
+  bool descending = false;
+};
+
+struct LogicalOp {
+  LogicalOpKind kind = LogicalOpKind::kGet;
+
+  // kGet
+  int rel_id = -1;
+  TableId table_id = -1;
+  // kGet (local), kJoinSet / kJoin (join + spanning), kFilter (residual)
+  std::vector<ExprPtr> conjuncts;
+  // kGroupBy
+  std::vector<ColId> group_cols;
+  std::vector<AggregateItem> aggs;
+  // kProject
+  std::vector<ProjectItem> projections;
+  // kSort (ORDER BY keys and/or LIMIT; limit = -1 means unlimited)
+  std::vector<SortKey> sort_keys;
+  int64_t limit = -1;
+  // kCseRef
+  int cse_id = -1;
+  std::vector<ColId> cse_output;
+
+  // --- Factories ---
+  static LogicalOp Get(int rel_id, TableId table_id,
+                       std::vector<ExprPtr> conjuncts);
+  static LogicalOp JoinSet(std::vector<ExprPtr> conjuncts);
+  static LogicalOp Join(std::vector<ExprPtr> conjuncts);
+  static LogicalOp GroupBy(std::vector<ColId> group_cols,
+                           std::vector<AggregateItem> aggs);
+  static LogicalOp Filter(std::vector<ExprPtr> conjuncts);
+  static LogicalOp Project(std::vector<ProjectItem> items);
+  static LogicalOp Sort(std::vector<SortKey> keys, int64_t limit = -1);
+  static LogicalOp Batch();
+  static LogicalOp CseRef(int cse_id, std::vector<ColId> output);
+
+  // Structural fingerprint over payload only (children hashed separately by
+  // the memo).
+  size_t PayloadHash() const;
+  bool PayloadEquals(const LogicalOp& other) const;
+
+  std::string ToString(
+      const std::function<std::string(ColId)>& name = {}) const;
+};
+
+const char* LogicalOpKindName(LogicalOpKind kind);
+
+// Binder output: an operator tree.
+struct LogicalTree {
+  LogicalOp op;
+  std::vector<std::unique_ptr<LogicalTree>> children;
+
+  LogicalTree() = default;
+  explicit LogicalTree(LogicalOp o) : op(std::move(o)) {}
+
+  LogicalTree* AddChild(std::unique_ptr<LogicalTree> child) {
+    children.push_back(std::move(child));
+    return children.back().get();
+  }
+
+  std::string ToString(const std::function<std::string(ColId)>& name = {},
+                       int indent = 0) const;
+};
+
+using LogicalTreePtr = std::unique_ptr<LogicalTree>;
+
+inline LogicalTreePtr MakeTree(LogicalOp op) {
+  return std::make_unique<LogicalTree>(std::move(op));
+}
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_LOGICAL_LOGICAL_OP_H_

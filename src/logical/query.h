@@ -1,0 +1,54 @@
+// Query context: per-batch state shared by the binder, optimizer, and
+// CSE machinery — the column/relation registry and the catalog.
+#ifndef SUBSHARE_LOGICAL_QUERY_H_
+#define SUBSHARE_LOGICAL_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/column.h"
+#include "logical/logical_op.h"
+
+namespace subshare {
+
+// One bound SQL statement (or programmatically built query).
+struct Statement {
+  LogicalTreePtr root;  // Sort?( Project( ... ))
+  std::vector<std::string> output_names;  // one per projected column
+  std::string text;     // original SQL, for diagnostics
+  bool explain = false; // EXPLAIN: optimize only, return the plan text
+};
+
+class QueryContext {
+ public:
+  explicit QueryContext(Catalog* catalog) : catalog_(catalog) {}
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  Catalog* catalog() { return catalog_; }
+  const Catalog* catalog() const { return catalog_; }
+  ColumnRegistry& columns() { return columns_; }
+  const ColumnRegistry& columns() const { return columns_; }
+
+  // Registers an instance of `table` and returns its rel_id.
+  int AddRelation(const Table& table, const std::string& alias) {
+    return columns_.AddRelation(table, alias);
+  }
+
+  DataType ColType(ColId c) const { return columns_.info(c).type; }
+
+  // Column naming callback for plan / expression printing.
+  std::function<std::string(ColId)> Namer() const {
+    return [this](ColId c) { return columns_.ColumnName(c); };
+  }
+
+ private:
+  Catalog* catalog_;
+  ColumnRegistry columns_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_LOGICAL_QUERY_H_

@@ -1,0 +1,225 @@
+#include "maint/view_maintenance.h"
+
+#include <map>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace subshare {
+
+namespace {
+
+// Combines an existing aggregate cell with a delta cell.
+Value CombineAgg(AggFn fn, const Value& current, const Value& delta) {
+  if (current.is_null()) return delta;
+  if (delta.is_null()) return current;
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      if (current.type() == DataType::kInt64 &&
+          delta.type() == DataType::kInt64) {
+        return Value::Int64(current.AsInt64() + delta.AsInt64());
+      }
+      return Value::Double(current.AsDouble() + delta.AsDouble());
+    case AggFn::kMin:
+      return delta.Compare(current) < 0 ? delta : current;
+    case AggFn::kMax:
+      return delta.Compare(current) > 0 ? delta : current;
+  }
+  return delta;
+}
+
+}  // namespace
+
+Status ViewManager::CreateMaterializedView(const std::string& name,
+                                           const std::string& select_sql,
+                                           const QueryOptions& options) {
+  for (const ViewDef& v : views_) {
+    if (v.name == name) {
+      return Status::AlreadyExists("view '" + name + "' already exists");
+    }
+  }
+
+  // Bind once to validate and discover the output structure.
+  ASSIGN_OR_RETURN(sql::AstSelectPtr ast, sql::ParseSelect(select_sql));
+  QueryContext ctx(&db_->catalog());
+  ASSIGN_OR_RETURN(Statement stmt, sql::BindSelect(*ast, &ctx, select_sql));
+
+  ViewDef def;
+  def.name = name;
+  def.sql = select_sql;
+  for (const sql::AstTableRef& ref : ast->from) {
+    def.base_tables.push_back(ref.table);
+  }
+
+  // Walk to the Project and the GroupBy below it (if any).
+  const LogicalTree* node = stmt.root.get();
+  if (node->op.kind == LogicalOpKind::kSort) node = node->children[0].get();
+  CHECK(node->op.kind == LogicalOpKind::kProject);
+  const LogicalTree* below = node->children[0].get();
+  while (below->op.kind == LogicalOpKind::kFilter ||
+         below->op.kind == LogicalOpKind::kJoin) {
+    below = below->children[0].get();
+  }
+  const LogicalOp* groupby =
+      below->op.kind == LogicalOpKind::kGroupBy ? &below->op : nullptr;
+  def.aggregated = groupby != nullptr;
+
+  Schema schema;
+  bool seen_agg = false;
+  for (size_t i = 0; i < node->op.projections.size(); ++i) {
+    const ProjectItem& item = node->op.projections[i];
+    schema.AddColumn(stmt.output_names[i], item.expr->type);
+    if (!def.aggregated) continue;
+    // Classify: grouping column or plain aggregate.
+    if (item.expr->kind != ExprKind::kColumn) {
+      return Status::InvalidArgument(
+          "incrementally maintainable views need plain columns/aggregates "
+          "in the select list");
+    }
+    ColId col = item.expr->column;
+    bool is_group = std::find(groupby->group_cols.begin(),
+                              groupby->group_cols.end(),
+                              col) != groupby->group_cols.end();
+    if (is_group) {
+      if (seen_agg) {
+        return Status::InvalidArgument(
+            "grouping columns must precede aggregates in the view select "
+            "list");
+      }
+      ++def.num_group_cols;
+      continue;
+    }
+    const AggregateItem* agg = nullptr;
+    for (const AggregateItem& a : groupby->aggs) {
+      if (a.output == col) agg = &a;
+    }
+    if (agg == nullptr) {
+      return Status::InvalidArgument(
+          "view output is neither a grouping column nor an aggregate");
+    }
+    seen_agg = true;
+    def.agg_fns.push_back(agg->fn);
+  }
+
+  // Materialize.
+  ASSIGN_OR_RETURN(QueryResult result, db_->Execute(select_sql, options));
+  ASSIGN_OR_RETURN(def.storage,
+                   db_->catalog().CreateTable("mv_" + name, schema));
+  for (Row& r : result.statements[0].rows) {
+    def.storage->AppendRow(std::move(r));
+  }
+  def.storage->ComputeStats();
+  views_.push_back(std::move(def));
+  return Status::Ok();
+}
+
+const Table* ViewManager::ViewTable(const std::string& name) const {
+  for (const ViewDef& v : views_) {
+    if (v.name == name) return v.storage;
+  }
+  return nullptr;
+}
+
+void ViewManager::MergeIntoView(ViewDef* view,
+                                const std::vector<Row>& delta_rows,
+                                int64_t* merged) {
+  *merged += static_cast<int64_t>(delta_rows.size());
+  if (!view->aggregated) {
+    for (const Row& r : delta_rows) view->storage->AppendRow(r);
+    view->storage->ComputeStats();
+    return;
+  }
+  // Upsert by grouping-column prefix.
+  std::map<std::string, int64_t> index;
+  auto key_of = [&](const Row& r) {
+    std::string key;
+    for (int i = 0; i < view->num_group_cols; ++i) {
+      key += r[i].ToString();
+      key += '\x1f';
+    }
+    return key;
+  };
+  // Build an index over current contents (adequate at this scale; a real
+  // system would keep a clustered index on the grouping columns).
+  std::vector<Row> rows = view->storage->rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    index[key_of(rows[i])] = static_cast<int64_t>(i);
+  }
+  for (const Row& delta : delta_rows) {
+    auto it = index.find(key_of(delta));
+    if (it == index.end()) {
+      index[key_of(delta)] = static_cast<int64_t>(rows.size());
+      rows.push_back(delta);
+      continue;
+    }
+    Row& target = rows[it->second];
+    for (size_t a = 0; a < view->agg_fns.size(); ++a) {
+      size_t col = view->num_group_cols + a;
+      target[col] = CombineAgg(view->agg_fns[a], target[col], delta[col]);
+    }
+  }
+  view->storage->Clear();
+  view->storage->AppendRows(std::move(rows));
+  view->storage->ComputeStats();
+}
+
+Status ViewManager::ApplyInserts(const std::string& base_table,
+                                 std::vector<Row> rows,
+                                 const QueryOptions& options,
+                                 MaintenanceMetrics* metrics) {
+  Table* base = db_->catalog().GetTable(base_table);
+  if (base == nullptr) {
+    return Status::NotFound("no base table '" + base_table + "'");
+  }
+  std::vector<ViewDef*> affected;
+  for (ViewDef& v : views_) {
+    for (const std::string& t : v.base_tables) {
+      if (t == base_table) {
+        affected.push_back(&v);
+        break;
+      }
+    }
+  }
+
+  // Stage the delta.
+  ASSIGN_OR_RETURN(Table * delta, db_->catalog().CreateDeltaTable(base_table));
+  for (const Row& r : rows) delta->AppendRow(r);
+  delta->ComputeStats();
+
+  MaintenanceMetrics local;
+  MaintenanceMetrics* m = metrics != nullptr ? metrics : &local;
+
+  if (!affected.empty()) {
+    // One maintenance statement per affected view: the definition with the
+    // updated table replaced by its delta. All statements are bound into a
+    // single context and optimized as one batch — the CSE path then finds
+    // the shared delta joins across similar views.
+    QueryContext ctx(&db_->catalog());
+    std::vector<Statement> statements;
+    for (ViewDef* v : affected) {
+      ASSIGN_OR_RETURN(sql::AstSelectPtr ast, sql::ParseSelect(v->sql));
+      for (sql::AstTableRef& ref : ast->from) {
+        if (ref.table == base_table) ref.table = delta->name();
+        // Keep the original alias so column references still resolve.
+      }
+      ASSIGN_OR_RETURN(Statement stmt, sql::BindSelect(*ast, &ctx, v->sql));
+      statements.push_back(std::move(stmt));
+    }
+    CseQueryOptimizer optimizer(&ctx, options.cse);
+    ExecutablePlan plan = optimizer.Optimize(statements, &m->optimization);
+    std::vector<StatementResult> results =
+        ExecutePlan(plan, &m->execution);
+    for (size_t i = 0; i < affected.size(); ++i) {
+      MergeIntoView(affected[i], results[i].rows, &m->rows_merged);
+    }
+    m->views_maintained = static_cast<int>(affected.size());
+  }
+
+  // Finally apply the insert to the base table itself.
+  base->AppendRows(std::move(rows));
+  base->ComputeStats();
+  return Status::Ok();
+}
+
+}  // namespace subshare

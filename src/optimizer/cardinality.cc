@@ -1,0 +1,162 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/implication.h"
+
+namespace subshare {
+
+namespace {
+
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+constexpr double kDefaultEqSelectivity = 0.05;
+
+double ValueAsNumber(const Value& v) {
+  if (v.type() == DataType::kString) return 0;  // handled separately
+  return v.AsDouble();
+}
+
+}  // namespace
+
+double CardinalityEstimator::ColumnNdv(ColId col, double fallback) {
+  const ColumnInfo& info = memo_->ctx()->columns().info(col);
+  if (info.table_id >= 0 && info.column_idx >= 0) {
+    const Table* table = memo_->ctx()->catalog()->GetTable(info.table_id);
+    if (table != nullptr && table->stats_valid()) {
+      return std::max<double>(
+          1.0,
+          static_cast<double>(table->stats().columns[info.column_idx].ndv));
+    }
+  }
+  return std::max(1.0, fallback);
+}
+
+double CardinalityEstimator::ConjunctSelectivity(const ExprPtr& conjunct) {
+  if (conjunct == nullptr) return 1.0;
+  // col = col (join or same-table equality)
+  {
+    ColId a, b;
+    if (IsColumnEquality(conjunct, &a, &b)) {
+      double ndv_a = ColumnNdv(a, 1.0 / kDefaultEqSelectivity);
+      double ndv_b = ColumnNdv(b, 1.0 / kDefaultEqSelectivity);
+      return 1.0 / std::max({ndv_a, ndv_b, 1.0});
+    }
+  }
+  // col cmp constant
+  {
+    ColId col;
+    CmpOp op;
+    Value constant;
+    if (IsColumnVsConstant(conjunct, &col, &op, &constant)) {
+      const ColumnInfo& info = memo_->ctx()->columns().info(col);
+      if (op == CmpOp::kEq) {
+        return 1.0 / ColumnNdv(col, 1.0 / kDefaultEqSelectivity);
+      }
+      if (op == CmpOp::kNe) {
+        return 1.0 - 1.0 / ColumnNdv(col, 1.0 / kDefaultEqSelectivity);
+      }
+      // Range: equi-depth histogram when available, otherwise min/max
+      // interpolation.
+      if (info.table_id >= 0 && info.column_idx >= 0 &&
+          constant.type() != DataType::kString) {
+        const Table* table = memo_->ctx()->catalog()->GetTable(info.table_id);
+        if (table != nullptr && table->stats_valid()) {
+          const ColumnStats& cs = table->stats().columns[info.column_idx];
+          double frac = cs.FractionAtMost(ValueAsNumber(constant));
+          if (frac >= 0) {
+            if (op == CmpOp::kLt || op == CmpOp::kLe) {
+              return std::max(frac, 1e-4);
+            }
+            return std::max(1.0 - frac, 1e-4);
+          }
+        }
+      }
+      return kDefaultSelectivity;
+    }
+  }
+  if (conjunct->kind == ExprKind::kAnd) {
+    double s = 1.0;
+    for (const ExprPtr& c : conjunct->children) s *= ConjunctSelectivity(c);
+    return s;
+  }
+  if (conjunct->kind == ExprKind::kOr) {
+    double s = 0.0;
+    for (const ExprPtr& c : conjunct->children) {
+      double sc = ConjunctSelectivity(c);
+      s = s + sc - s * sc;
+    }
+    return s;
+  }
+  if (conjunct->kind == ExprKind::kNot) {
+    return std::clamp(1.0 - ConjunctSelectivity(conjunct->children[0]), 1e-4,
+                      1.0);
+  }
+  return kDefaultSelectivity;
+}
+
+double CardinalityEstimator::Selectivity(
+    const std::vector<ExprPtr>& conjuncts) {
+  double s = 1.0;
+  for (const ExprPtr& c : conjuncts) s *= ConjunctSelectivity(c);
+  return std::max(s, 1e-18);
+}
+
+double CardinalityEstimator::EstimateExpr(const GroupExpr& expr) {
+  const LogicalOp& op = expr.op;
+  switch (op.kind) {
+    case LogicalOpKind::kGet: {
+      const Table* table = memo_->ctx()->catalog()->GetTable(op.table_id);
+      double rows = table != nullptr
+                        ? static_cast<double>(table->row_count())
+                        : 1000.0;
+      return std::max(1.0, rows * Selectivity(op.conjuncts));
+    }
+    case LogicalOpKind::kJoinSet:
+    case LogicalOpKind::kJoin: {
+      double card = 1.0;
+      for (GroupId c : expr.children) card *= GroupCardinality(c);
+      return std::max(1.0, card * Selectivity(op.conjuncts));
+    }
+    case LogicalOpKind::kGroupBy: {
+      double child = GroupCardinality(expr.children[0]);
+      if (op.group_cols.empty()) return 1.0;
+      double groups = 1.0;
+      for (ColId g : op.group_cols) {
+        groups *= ColumnNdv(g, std::sqrt(child));
+        if (groups > child) break;
+      }
+      return std::clamp(groups, 1.0, child);
+    }
+    case LogicalOpKind::kFilter:
+      return std::max(
+          1.0, GroupCardinality(expr.children[0]) * Selectivity(op.conjuncts));
+    case LogicalOpKind::kProject:
+      return GroupCardinality(expr.children[0]);
+    case LogicalOpKind::kSort: {
+      double child = GroupCardinality(expr.children[0]);
+      if (op.limit >= 0) return std::min(child, static_cast<double>(op.limit));
+      return child;
+    }
+    case LogicalOpKind::kBatch:
+      return 1.0;
+    case LogicalOpKind::kCseRef:
+      // Filled in by the CSE machinery via set_cardinality on the CseRef
+      // group; if unset, fall back to 1000.
+      return 1000.0;
+  }
+  return 1000.0;
+}
+
+double CardinalityEstimator::GroupCardinality(GroupId g) {
+  Group& group = memo_->group(g);
+  if (group.cardinality >= 0) return group.cardinality;
+  group.cardinality = 1.0;  // cycle guard; overwritten below
+  CHECK(!group.exprs.empty());
+  // Use the first (normal-form) expression: it is the n-ary / original
+  // shape, and all equivalent expressions must agree anyway.
+  group.cardinality = EstimateExpr(group.exprs[0]);
+  return group.cardinality;
+}
+
+}  // namespace subshare

@@ -1,0 +1,12 @@
+#include "optimizer/cost_model.h"
+
+#include <cmath>
+
+namespace subshare {
+
+double CostModel::Sort(double input_rows) {
+  if (input_rows < 2) return 1.0;
+  return input_rows * std::log2(input_rows) * 0.02;
+}
+
+}  // namespace subshare

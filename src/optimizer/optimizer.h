@@ -1,0 +1,124 @@
+// Cost-based optimizer over the memo, with the paper's CSE-aware costing:
+//
+//   - plans carry per-candidate use counts; a consumer that reads a spool is
+//     charged only the usage cost C_R (§5.2),
+//   - at a candidate's least-common-ancestor group, plans with a single
+//     consumer are discarded and the initial cost C_E + C_W is added exactly
+//     once; nested (stacked) candidate uses inside the CSE's own evaluation
+//     plan propagate through the spool boundary at that point (§5.5),
+//   - best plans are memoized per (group, enabled-set ∩ relevant-set), which
+//     implements the §5.4 history reuse: groups with no candidate consumers
+//     below them are optimized exactly once across all enabled sets.
+//
+// The enumeration over enabled candidate sets (§5.3, Props 5.4–5.6) lives in
+// core/cse_optimizer; this class provides BestPlan(group, enabled).
+#ifndef SUBSHARE_OPTIMIZER_OPTIMIZER_H_
+#define SUBSHARE_OPTIMIZER_OPTIMIZER_H_
+
+#include <map>
+#include <set>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/memo.h"
+#include "optimizer/rules.h"
+#include "physical/physical_plan.h"
+
+namespace subshare {
+
+// A registered candidate covering subexpression (built by core/).
+struct CseCandidateInfo {
+  int id = -1;
+  GroupId eval_group = kInvalidGroup;   // root of the CSE's own expression
+  GroupId spool_group = kInvalidGroup;  // group holding the CseRef leaf
+  GroupId lca_group = kInvalidGroup;
+  std::vector<GroupId> consumer_groups;
+  double est_rows = 0;
+  double spool_write_cost = 0;  // C_W
+  double spool_read_cost = 0;   // C_R (per consumer)
+  Schema spool_schema;
+  std::vector<ColId> output_cols;
+};
+
+struct OptimizerOptions {
+  ExploreOptions explore;
+  bool enable_index_scans = true;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(QueryContext* ctx, OptimizerOptions options = {});
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  Memo& memo() { return memo_; }
+  QueryContext* ctx() { return ctx_; }
+  CardinalityEstimator& cards() { return cards_; }
+  const OptimizerOptions& options() const { return options_; }
+
+  // Builds the memo for a batch (ties statements under a Batch root,
+  // paper footnote 1) and runs exploration. Returns the root group.
+  GroupId BuildAndExplore(const std::vector<Statement>& statements);
+
+  // Explores expressions added after the initial pass (CSE evaluation
+  // trees) and recomputes required columns including the new roots.
+  void ReexploreWithRoots(const std::vector<GroupId>& extra_roots);
+
+  // Best physical plan for `g` under the enabled candidate set; nullptr if
+  // infeasible under that set. Memoized per (g, enabled ∩ relevant).
+  PhysicalNodePtr BestPlan(GroupId g, Bitset64 enabled);
+
+  // Candidate registration (done by core/ before CSE optimization).
+  int RegisterCandidate(CseCandidateInfo info);
+  const std::vector<CseCandidateInfo>& candidates() const {
+    return candidates_;
+  }
+  CseCandidateInfo& candidate(int id) { return candidates_[id]; }
+
+  // Recomputes per-group relevant candidate masks; call once after all
+  // candidates are registered and substitutes injected.
+  void ComputeRelevantMasks();
+
+  // Builds the executable artifact for a finished optimization: the root
+  // plan plus one evaluation plan per used candidate, dependency-ordered.
+  ExecutablePlan Assemble(PhysicalNodePtr root_plan, Bitset64 enabled);
+
+  // Statement root groups in batch order.
+  const std::vector<GroupId>& statement_roots() const {
+    return statement_roots_;
+  }
+
+  // Number of (group, context) best-plan computations performed (a proxy
+  // for optimization work; used in tests and metrics).
+  int64_t plan_computations() const { return plan_computations_; }
+
+ private:
+  struct ImplementResult {
+    std::vector<PhysicalNodePtr> plans;
+  };
+
+  Layout RequiredLayout(const Group& g) const;
+  ImplementResult ImplementExpr(GroupId g, const GroupExpr& expr,
+                                Bitset64 enabled);
+  // Returns false if the plan must be discarded (single consumer at LCA).
+  bool FinalizeCseAt(GroupId g, PhysicalNode* plan, Bitset64 enabled);
+
+  void CollectUsedCandidates(const PhysicalNode& plan, Bitset64 enabled,
+                             std::vector<int>* order,
+                             std::set<int>* visited);
+
+  QueryContext* ctx_;
+  OptimizerOptions options_;
+  Memo memo_;
+  CardinalityEstimator cards_;
+  std::vector<GroupId> statement_roots_;
+  std::vector<CseCandidateInfo> candidates_;
+
+  // (group -> enabled∩relevant mask -> best plan or nullptr).
+  std::vector<std::map<uint64_t, PhysicalNodePtr>> plan_cache_;
+  std::set<std::pair<GroupId, uint64_t>> in_progress_;
+  int64_t plan_computations_ = 0;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_OPTIMIZER_OPTIMIZER_H_

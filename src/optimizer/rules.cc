@@ -1,0 +1,289 @@
+#include "optimizer/rules.h"
+
+#include <algorithm>
+
+#include "expr/aggregate.h"
+#include "util/hash.h"
+
+namespace subshare {
+
+namespace {
+
+// Collects the output-column set of a group as a std::set for probing.
+std::set<ColId> OutputSet(const Group& g) {
+  return std::set<ColId>(g.output.begin(), g.output.end());
+}
+
+}  // namespace
+
+Bitset64 RuleEngine::ConjunctMembers(const GroupExpr& joinset,
+                                     const ExprPtr& conjunct) {
+  std::set<ColId> cols;
+  CollectColumns(conjunct, &cols);
+  Bitset64 members;
+  for (size_t m = 0; m < joinset.children.size(); ++m) {
+    const Group& child = memo_->group(joinset.children[m]);
+    for (ColId c : cols) {
+      if (child.HasOutput(c)) {
+        members.Set(static_cast<int>(m));
+        break;
+      }
+    }
+  }
+  return members;
+}
+
+bool RuleEngine::SubsetConnected(const GroupExpr& joinset, Bitset64 subset) {
+  int n = subset.Count();
+  if (n <= 1) return true;
+  // Union-find over member indexes, merging along conjunct hyperedges that
+  // lie entirely within the subset.
+  std::map<int, int> parent;
+  for (size_t m = 0; m < joinset.children.size(); ++m) {
+    if (subset.Test(static_cast<int>(m))) parent[static_cast<int>(m)] = m;
+  }
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const ExprPtr& c : joinset.op.conjuncts) {
+    Bitset64 members = ConjunctMembers(joinset, c);
+    if (members.Count() < 2 || !subset.Contains(members)) continue;
+    int first = members.Lowest();
+    for (int m = 0; m < 64; ++m) {
+      if (members.Test(m) && m != first) parent[find(m)] = find(first);
+    }
+  }
+  int root = find(subset.Lowest());
+  for (const auto& [m, _] : parent) {
+    if (find(m) != root) return false;
+  }
+  return true;
+}
+
+GroupId RuleEngine::GroupForSubset(GroupId parent_group,
+                                   const GroupExpr& joinset, Bitset64 subset) {
+  CHECK(!subset.Empty());
+  if (subset.Count() == 1) return joinset.children[subset.Lowest()];
+  std::vector<GroupId> members;
+  for (size_t m = 0; m < joinset.children.size(); ++m) {
+    if (subset.Test(static_cast<int>(m))) {
+      members.push_back(joinset.children[m]);
+    }
+  }
+  std::vector<ExprPtr> conjuncts;
+  for (const ExprPtr& c : joinset.op.conjuncts) {
+    Bitset64 mc = ConjunctMembers(joinset, c);
+    if (!mc.Empty() && subset.Contains(mc)) conjuncts.push_back(c);
+  }
+  return memo_->InsertExpr(LogicalOp::JoinSet(std::move(conjuncts)),
+                           std::move(members), kInvalidGroup, parent_group);
+}
+
+void RuleEngine::ExpandJoinSet(GroupId g, int expr_idx) {
+  // Copy: InsertExpr may reallocate the expr vector.
+  GroupExpr joinset = memo_->group(g).exprs[expr_idx];
+  int n = static_cast<int>(joinset.children.size());
+  if (n < 2 || n > options_.max_joinset_size) return;
+
+  Bitset64 all;
+  for (int m = 0; m < n; ++m) all.Set(m);
+  bool whole_connected = SubsetConnected(joinset, all);
+
+  // Enumerate partitions: S1 contains member 0 to avoid mirrored splits.
+  uint64_t full = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  for (uint64_t bits = 1; bits < full; ++bits) {
+    if ((bits & 1ULL) == 0) continue;  // member 0 stays left
+    Bitset64 s1(bits);
+    Bitset64 s2(full & ~bits);
+    if (!SubsetConnected(joinset, s1) || !SubsetConnected(joinset, s2)) {
+      continue;
+    }
+    // Cross conjuncts connect the two sides; require at least one unless
+    // the whole set is disconnected (then cartesian joins are unavoidable).
+    std::vector<ExprPtr> cross;
+    for (const ExprPtr& c : joinset.op.conjuncts) {
+      Bitset64 mc = ConjunctMembers(joinset, c);
+      if (mc.Intersects(s1) && mc.Intersects(s2)) {
+        cross.push_back(c);
+      } else if (mc.Empty()) {
+        cross.push_back(c);  // constant-only conjunct rides on the join
+      }
+    }
+    if (cross.empty() && whole_connected) continue;
+    GroupId left = GroupForSubset(g, joinset, s1);
+    GroupId right = GroupForSubset(g, joinset, s2);
+    memo_->InsertExpr(LogicalOp::Join(std::move(cross)), {left, right}, g, g);
+  }
+}
+
+void RuleEngine::EagerGroupBy(GroupId g, int expr_idx) {
+  GroupExpr agg_expr = memo_->group(g).exprs[expr_idx];
+  if (agg_expr.op.aggs.empty()) return;
+  // The rule also applies to partial aggregates it created itself (a
+  // pre-aggregation can be pre-aggregated further); recursion terminates
+  // because the aggregated side shrinks at every level, and the partial
+  // group cache unifies the re-derivations.
+  GroupId child_id = agg_expr.children[0];
+  const Group& child = memo_->group(child_id);
+  // Find the n-ary JoinSet expression of the child whose members are all
+  // base Gets (the original SPJ shape).
+  int js_idx = -1;
+  for (size_t i = 0; i < child.exprs.size(); ++i) {
+    if (child.exprs[i].op.kind == LogicalOpKind::kJoinSet) {
+      bool all_gets = true;
+      for (GroupId m : child.exprs[i].children) {
+        const Group& mg = memo_->group(m);
+        all_gets &= !mg.exprs.empty() &&
+                    mg.exprs[0].op.kind == LogicalOpKind::kGet;
+      }
+      if (all_gets) {
+        js_idx = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (js_idx < 0) return;
+  GroupExpr joinset = child.exprs[js_idx];
+  int n = static_cast<int>(joinset.children.size());
+  if (n < 2) return;
+
+  // Columns referenced by aggregate arguments.
+  std::set<ColId> agg_cols;
+  for (const AggregateItem& a : agg_expr.op.aggs) {
+    CollectColumns(a.arg, &agg_cols);
+  }
+  size_t agg_fingerprint = 0;
+  for (const AggregateItem& a : agg_expr.op.aggs) {
+    HashValue(&agg_fingerprint, static_cast<int>(a.fn));
+    HashCombine(&agg_fingerprint, ExprHash(a.arg));
+  }
+
+  uint64_t full = (1ULL << n) - 1;
+  for (uint64_t bits = 1; bits < full; ++bits) {
+    Bitset64 s1(bits);
+    Bitset64 s2(full & ~bits);
+    if (s2.Count() > options_.eager_max_other_side) continue;
+    if (!SubsetConnected(joinset, s1) || !SubsetConnected(joinset, s2)) {
+      continue;
+    }
+    // All aggregate inputs must come from S1.
+    std::set<ColId> s1_cols;
+    bool agg_ok = true;
+    for (int m = 0; m < n; ++m) {
+      if (s1.Test(m)) {
+        std::set<ColId> out = OutputSet(memo_->group(joinset.children[m]));
+        s1_cols.insert(out.begin(), out.end());
+      }
+    }
+    for (ColId c : agg_cols) agg_ok &= (s1_cols.count(c) > 0);
+    if (!agg_ok) continue;
+
+    // Cross conjuncts and the S1 columns they reference.
+    std::vector<ExprPtr> cross;
+    std::set<ColId> join_cols_s1;
+    bool has_cross = false;
+    for (const ExprPtr& c : joinset.op.conjuncts) {
+      Bitset64 mc = ConjunctMembers(joinset, c);
+      if (mc.Intersects(s1) && mc.Intersects(s2)) {
+        has_cross = true;
+        cross.push_back(c);
+        std::set<ColId> cols;
+        CollectColumns(c, &cols);
+        for (ColId col : cols) {
+          if (s1_cols.count(col) > 0) join_cols_s1.insert(col);
+        }
+      } else if (mc.Intersects(s2) && !mc.Intersects(s1)) {
+        cross.push_back(c);  // S2-internal conjuncts ride on the new joinset
+      }
+    }
+    if (!has_cross) continue;  // avoid preaggregation under cartesian joins
+
+    // g1 = (g ∩ cols(S1)) ∪ joincols(S1).
+    std::vector<ColId> g1;
+    for (ColId c : agg_expr.op.group_cols) {
+      if (s1_cols.count(c) > 0) g1.push_back(c);
+    }
+    for (ColId c : join_cols_s1) {
+      if (std::find(g1.begin(), g1.end(), c) == g1.end()) g1.push_back(c);
+    }
+    std::sort(g1.begin(), g1.end());
+
+    GroupId s1_group = GroupForSubset(child_id, joinset, s1);
+
+    // Build (or reuse) the partial aggregate group.
+    auto cache_key = std::make_tuple(s1_group, g1, agg_fingerprint);
+    auto it = partial_agg_cache_.find(cache_key);
+    GroupId partial_group;
+    std::vector<ColId> partial_outputs;
+    if (it != partial_agg_cache_.end()) {
+      partial_group = it->second.first;
+      partial_outputs = it->second.second;
+    } else {
+      std::vector<AggregateItem> partial_aggs;
+      for (const AggregateItem& a : agg_expr.op.aggs) {
+        DataType out_type = AggResultType(
+            a.fn, a.arg != nullptr ? a.arg->type : DataType::kInt64);
+        ColId out = memo_->ctx()->columns().AddSynthetic(
+            "partial_" + AggFnName(a.fn), out_type);
+        partial_aggs.push_back({a.fn, a.arg, out});
+        partial_outputs.push_back(out);
+      }
+      partial_group =
+          memo_->InsertExpr(LogicalOp::GroupBy(g1, std::move(partial_aggs)),
+                            {s1_group}, kInvalidGroup, g);
+      memo_->group(partial_group).is_partial_aggregate = true;
+      partial_agg_cache_[cache_key] = {partial_group, partial_outputs};
+    }
+
+    // New join set: partial aggregate joined with the S2 members.
+    std::vector<GroupId> members = {partial_group};
+    for (int m = 0; m < n; ++m) {
+      if (s2.Test(m)) members.push_back(joinset.children[m]);
+    }
+    GroupId new_joinset = memo_->InsertExpr(
+        LogicalOp::JoinSet(std::move(cross)), std::move(members),
+        kInvalidGroup, g);
+
+    // Final re-aggregation keeps the original output columns.
+    std::vector<AggregateItem> reagg;
+    for (size_t i = 0; i < agg_expr.op.aggs.size(); ++i) {
+      const AggregateItem& a = agg_expr.op.aggs[i];
+      DataType partial_type =
+          memo_->ctx()->columns().info(partial_outputs[i]).type;
+      reagg.push_back({ReaggregateFn(a.fn),
+                       Expr::Column(partial_outputs[i], partial_type),
+                       a.output});
+    }
+    memo_->InsertExpr(
+        LogicalOp::GroupBy(agg_expr.op.group_cols, std::move(reagg)),
+        {new_joinset}, g, g);
+  }
+}
+
+void RuleEngine::ExploreAll() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GroupId g = 0; g < memo_->num_groups(); ++g) {
+      for (int i = 0; i < static_cast<int>(memo_->group(g).exprs.size());
+           ++i) {
+        if (memo_->group(g).exprs[i].explored) continue;
+        memo_->group(g).exprs[i].explored = true;
+        changed = true;
+        LogicalOpKind kind = memo_->group(g).exprs[i].op.kind;
+        if (kind == LogicalOpKind::kJoinSet) {
+          ExpandJoinSet(g, i);
+        } else if (kind == LogicalOpKind::kGroupBy &&
+                   options_.enable_eager_groupby) {
+          EagerGroupBy(g, i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace subshare

@@ -1,0 +1,66 @@
+// Transformation rules (exploration).
+//
+//  1. JoinSet expansion: every connected binary partition of an n-ary join
+//     set becomes a Join expression; each non-trivial side gets its own
+//     JoinSet group. This is the Cascades multi-join expansion and creates
+//     exactly the sub-join groups that table signatures index.
+//  2. Eager group-by (pre-aggregation):
+//       γ_{g,aggs}(S1 ⋈ S2) -> γ_{g,reagg}( γ_{g1,partial}(S1) ⋈ S2 )
+//     with g1 = (g ∩ cols(S1)) ∪ joincols(S1), valid for the decomposable
+//     aggregates this engine supports. It generates the paper's
+//     pre-aggregated candidates (E4 in Fig. 6, E5's Q3 consumer).
+#ifndef SUBSHARE_OPTIMIZER_RULES_H_
+#define SUBSHARE_OPTIMIZER_RULES_H_
+
+#include <map>
+
+#include "optimizer/memo.h"
+
+namespace subshare {
+
+struct ExploreOptions {
+  bool enable_eager_groupby = true;
+  // Eager group-by is attempted only when the non-aggregated side has at
+  // most this many relations (bounds rule explosion; the paper's candidates
+  // all have a small residual side).
+  int eager_max_other_side = 2;
+  // Join sets larger than this are not expanded exhaustively (safety bound;
+  // TPC-H tops out at 8).
+  int max_joinset_size = 10;
+};
+
+class RuleEngine {
+ public:
+  RuleEngine(Memo* memo, ExploreOptions options)
+      : memo_(memo), options_(options) {}
+
+  // Applies all rules to a fixpoint over every group expression.
+  void ExploreAll();
+
+ private:
+  void ExpandJoinSet(GroupId g, int expr_idx);
+  void EagerGroupBy(GroupId g, int expr_idx);
+
+  // Group implementing the join of the member subset `subset` (bitmask over
+  // the member vector of `joinset`); single members collapse to the member
+  // group itself.
+  GroupId GroupForSubset(GroupId parent_group, const GroupExpr& joinset,
+                         Bitset64 subset);
+
+  // Members referenced by a conjunct (bitmask over joinset members).
+  Bitset64 ConjunctMembers(const GroupExpr& joinset, const ExprPtr& conjunct);
+
+  bool SubsetConnected(const GroupExpr& joinset, Bitset64 subset);
+
+  Memo* memo_;
+  ExploreOptions options_;
+  // Dedup for eager-aggregate groups: (child group, grouping cols, agg
+  // fingerprint) -> (partial group, partial output cols).
+  std::map<std::tuple<GroupId, std::vector<ColId>, size_t>,
+           std::pair<GroupId, std::vector<ColId>>>
+      partial_agg_cache_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_OPTIMIZER_RULES_H_

@@ -1,0 +1,748 @@
+#include "physical/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace subshare {
+
+namespace {
+
+// Index mapping from a source layout to a target layout.
+std::vector<int> MappingTo(const Layout& source, const Layout& target) {
+  std::vector<int> map;
+  map.reserve(target.size());
+  for (ColId c : target.cols()) {
+    int idx = source.IndexOf(c);
+    CHECK(idx >= 0) << "column c" << c << " not produced by child";
+    map.push_back(idx);
+  }
+  return map;
+}
+
+Row ApplyMapping(const Row& source, const std::vector<int>& map) {
+  Row out;
+  out.reserve(map.size());
+  for (int idx : map) out.push_back(source[idx]);
+  return out;
+}
+
+// Group key for hash aggregation / hash join build.
+struct RowKey {
+  Row values;
+  bool operator==(const RowKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i].is_null() != other.values[i].is_null()) return false;
+      if (!values[i].is_null() && values[i].Compare(other.values[i]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& k) const { return HashRow(k.values); }
+};
+
+// ---------------------------------------------------------------- scans ---
+
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node), ctx_(ctx) {}
+
+  void Open() override {
+    Layout storage_layout(node_.input_cols);
+    bound_filter_ = node_.filter ? BindExpr(node_.filter, storage_layout)
+                                 : nullptr;
+    map_ = MappingTo(storage_layout, node_.output);
+    if (node_.kind == PhysOpKind::kIndexScan) {
+      const SortedIndex* idx = node_.table->GetIndex(node_.index_range.column_idx);
+      CHECK(idx != nullptr) << "missing index on " << node_.table->name();
+      const Value* lo = node_.index_range.lo ? &*node_.index_range.lo : nullptr;
+      const Value* hi = node_.index_range.hi ? &*node_.index_range.hi : nullptr;
+      positions_ = idx->RangeLookup(lo, node_.index_range.lo_inclusive, hi,
+                                    node_.index_range.hi_inclusive,
+                                    node_.table->rows());
+      use_positions_ = true;
+    }
+    cursor_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    const std::vector<Row>& rows = node_.table->rows();
+    int64_t limit = use_positions_ ? static_cast<int64_t>(positions_.size())
+                                   : static_cast<int64_t>(rows.size());
+    while (cursor_ < limit) {
+      const Row& row = use_positions_ ? rows[positions_[cursor_]]
+                                      : rows[cursor_];
+      ++cursor_;
+      ++ctx_->rows_scanned;
+      if (bound_filter_ != nullptr && !EvalPredicate(bound_filter_, row)) {
+        continue;
+      }
+      *out = ApplyMapping(row, map_);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const PhysicalNode& node_;
+  ExecContext* ctx_;
+  ExprPtr bound_filter_;
+  std::vector<int> map_;
+  std::vector<int64_t> positions_;
+  bool use_positions_ = false;
+  int64_t cursor_ = 0;
+};
+
+class SpoolScanOp : public Operator {
+ public:
+  SpoolScanOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node), ctx_(ctx) {}
+
+  void Open() override {
+    work_table_ = ctx_->work_tables->Get(node_.cse_id);
+    CHECK(work_table_ != nullptr)
+        << "CSE " << node_.cse_id << " was not materialized before use";
+    Layout storage_layout(node_.input_cols);
+    bound_filter_ = node_.filter ? BindExpr(node_.filter, storage_layout)
+                                 : nullptr;
+    map_ = MappingTo(storage_layout, node_.output);
+    cursor_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    const std::vector<Row>& rows = work_table_->rows();
+    while (cursor_ < static_cast<int64_t>(rows.size())) {
+      const Row& row = rows[cursor_++];
+      ++ctx_->rows_scanned;
+      if (bound_filter_ != nullptr && !EvalPredicate(bound_filter_, row)) {
+        continue;
+      }
+      *out = ApplyMapping(row, map_);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const PhysicalNode& node_;
+  ExecContext* ctx_;
+  const WorkTable* work_table_ = nullptr;
+  ExprPtr bound_filter_;
+  std::vector<int> map_;
+  int64_t cursor_ = 0;
+};
+
+// --------------------------------------------------------------- filter ---
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+
+  void Open() override {
+    child_->Open();
+    Layout child_layout = node_.children[0]->output;
+    bound_pred_ = BindExpr(node_.filter, child_layout);
+    map_ = MappingTo(child_layout, node_.output);
+  }
+
+  bool Next(Row* out) override {
+    Row row;
+    while (child_->Next(&row)) {
+      if (EvalPredicate(bound_pred_, row)) {
+        *out = ApplyMapping(row, map_);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const PhysicalNode& node_;
+  std::unique_ptr<Operator> child_;
+  ExprPtr bound_pred_;
+  std::vector<int> map_;
+};
+
+// ---------------------------------------------------------------- joins ---
+
+// Hash join: builds on the right child, probes with the left.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node),
+        left_(BuildOperator(*node.children[0], ctx)),
+        right_(BuildOperator(*node.children[1], ctx)) {}
+
+  void Open() override {
+    const Layout& left_layout = node_.children[0]->output;
+    const Layout& right_layout = node_.children[1]->output;
+    for (const auto& [l, r] : node_.join_keys) {
+      int li = left_layout.IndexOf(l);
+      int ri = right_layout.IndexOf(r);
+      CHECK(li >= 0 && ri >= 0) << "join key missing from child layout";
+      left_key_idx_.push_back(li);
+      right_key_idx_.push_back(ri);
+    }
+    // Concatenated layout for residual evaluation and output mapping.
+    std::vector<ColId> concat = left_layout.cols();
+    concat.insert(concat.end(), right_layout.cols().begin(),
+                  right_layout.cols().end());
+    Layout concat_layout(std::move(concat));
+    bound_residual_ = node_.join_residual
+                          ? BindExpr(node_.join_residual, concat_layout)
+                          : nullptr;
+    map_ = MappingTo(concat_layout, node_.output);
+
+    right_->Open();
+    Row row;
+    while (right_->Next(&row)) {
+      RowKey key{ExtractKey(row, right_key_idx_)};
+      if (HasNullKey(key)) continue;  // nulls never join
+      build_[std::move(key)].push_back(std::move(row));
+      row = Row();
+    }
+    left_->Open();
+    matches_ = nullptr;
+  }
+
+  bool Next(Row* out) override {
+    while (true) {
+      if (matches_ != nullptr && match_idx_ < matches_->size()) {
+        const Row& right_row = (*matches_)[match_idx_++];
+        Row concat = current_left_;
+        concat.insert(concat.end(), right_row.begin(), right_row.end());
+        if (bound_residual_ != nullptr &&
+            !EvalPredicate(bound_residual_, concat)) {
+          continue;
+        }
+        *out = ApplyMapping(concat, map_);
+        return true;
+      }
+      if (!left_->Next(&current_left_)) return false;
+      RowKey key{ExtractKey(current_left_, left_key_idx_)};
+      if (HasNullKey(key)) {
+        matches_ = nullptr;
+        continue;
+      }
+      auto it = build_.find(key);
+      matches_ = it == build_.end() ? nullptr : &it->second;
+      match_idx_ = 0;
+    }
+  }
+
+ private:
+  static Row ExtractKey(const Row& row, const std::vector<int>& idx) {
+    Row key;
+    key.reserve(idx.size());
+    for (int i : idx) key.push_back(row[i]);
+    return key;
+  }
+  static bool HasNullKey(const RowKey& key) {
+    for (const Value& v : key.values) {
+      if (v.is_null()) return true;
+    }
+    return false;
+  }
+
+  const PhysicalNode& node_;
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+  ExprPtr bound_residual_;
+  std::vector<int> map_;
+  std::unordered_map<RowKey, std::vector<Row>, RowKeyHash> build_;
+  Row current_left_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_idx_ = 0;
+};
+
+// Nested-loop join with the right side materialized once.
+class NlJoinOp : public Operator {
+ public:
+  NlJoinOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node),
+        left_(BuildOperator(*node.children[0], ctx)),
+        right_(BuildOperator(*node.children[1], ctx)) {}
+
+  void Open() override {
+    const Layout& left_layout = node_.children[0]->output;
+    const Layout& right_layout = node_.children[1]->output;
+    std::vector<ColId> concat = left_layout.cols();
+    concat.insert(concat.end(), right_layout.cols().begin(),
+                  right_layout.cols().end());
+    Layout concat_layout(std::move(concat));
+    bound_pred_ = node_.nl_pred ? BindExpr(node_.nl_pred, concat_layout)
+                                : nullptr;
+    map_ = MappingTo(concat_layout, node_.output);
+
+    right_->Open();
+    Row row;
+    right_rows_.clear();
+    while (right_->Next(&row)) right_rows_.push_back(std::move(row));
+    left_->Open();
+    have_left_ = false;
+    right_idx_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    while (true) {
+      if (!have_left_) {
+        if (!left_->Next(&current_left_)) return false;
+        have_left_ = true;
+        right_idx_ = 0;
+      }
+      while (right_idx_ < right_rows_.size()) {
+        const Row& right_row = right_rows_[right_idx_++];
+        Row concat = current_left_;
+        concat.insert(concat.end(), right_row.begin(), right_row.end());
+        if (bound_pred_ != nullptr && !EvalPredicate(bound_pred_, concat)) {
+          continue;
+        }
+        *out = ApplyMapping(concat, map_);
+        return true;
+      }
+      have_left_ = false;
+    }
+  }
+
+ private:
+  const PhysicalNode& node_;
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  ExprPtr bound_pred_;
+  std::vector<int> map_;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool have_left_ = false;
+  size_t right_idx_ = 0;
+};
+
+// Sort-merge join: materializes and sorts both inputs on the join keys,
+// then merges equal-key ranges (cross product within a range, filtered by
+// the residual predicate).
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node),
+        left_(BuildOperator(*node.children[0], ctx)),
+        right_(BuildOperator(*node.children[1], ctx)) {}
+
+  void Open() override {
+    const Layout& left_layout = node_.children[0]->output;
+    const Layout& right_layout = node_.children[1]->output;
+    for (const auto& [l, r] : node_.join_keys) {
+      int li = left_layout.IndexOf(l);
+      int ri = right_layout.IndexOf(r);
+      CHECK(li >= 0 && ri >= 0) << "merge-join key missing from child";
+      left_key_idx_.push_back(li);
+      right_key_idx_.push_back(ri);
+    }
+    std::vector<ColId> concat = left_layout.cols();
+    concat.insert(concat.end(), right_layout.cols().begin(),
+                  right_layout.cols().end());
+    Layout concat_layout(std::move(concat));
+    bound_residual_ = node_.join_residual
+                          ? BindExpr(node_.join_residual, concat_layout)
+                          : nullptr;
+    map_ = MappingTo(concat_layout, node_.output);
+
+    auto drain_sorted = [](Operator* op, const std::vector<int>& keys,
+                           std::vector<Row>* out) {
+      op->Open();
+      Row row;
+      while (op->Next(&row)) {
+        // Null keys never join; drop them up front.
+        bool has_null = false;
+        for (int k : keys) has_null |= row[k].is_null();
+        if (!has_null) out->push_back(std::move(row));
+        row = Row();
+      }
+      std::sort(out->begin(), out->end(),
+                [&keys](const Row& a, const Row& b) {
+                  for (int k : keys) {
+                    int c = a[k].Compare(b[k]);
+                    if (c != 0) return c < 0;
+                  }
+                  return false;
+                });
+    };
+    left_rows_.clear();
+    right_rows_.clear();
+    drain_sorted(left_.get(), left_key_idx_, &left_rows_);
+    drain_sorted(right_.get(), right_key_idx_, &right_rows_);
+    li_ = ri_ = 0;
+    range_li_ = range_lend_ = range_ri_ = range_rend_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    while (true) {
+      // Emit from the current equal-key rectangle.
+      while (range_li_ < range_lend_) {
+        if (range_ri_ >= range_rend_) {
+          ++range_li_;
+          range_ri_ = range_rbegin_;
+          continue;
+        }
+        Row concat = left_rows_[range_li_];
+        const Row& r = right_rows_[range_ri_++];
+        concat.insert(concat.end(), r.begin(), r.end());
+        if (bound_residual_ != nullptr &&
+            !EvalPredicate(bound_residual_, concat)) {
+          continue;
+        }
+        *out = ApplyMapping(concat, map_);
+        return true;
+      }
+      // Advance to the next equal-key range.
+      if (li_ >= left_rows_.size() || ri_ >= right_rows_.size()) return false;
+      int c = CompareKeys(left_rows_[li_], right_rows_[ri_]);
+      if (c < 0) {
+        ++li_;
+        continue;
+      }
+      if (c > 0) {
+        ++ri_;
+        continue;
+      }
+      size_t lend = li_ + 1;
+      while (lend < left_rows_.size() &&
+             CompareKeys(left_rows_[lend], right_rows_[ri_]) == 0) {
+        ++lend;
+      }
+      size_t rend = ri_ + 1;
+      while (rend < right_rows_.size() &&
+             CompareKeys(left_rows_[li_], right_rows_[rend]) == 0) {
+        ++rend;
+      }
+      range_li_ = li_;
+      range_lend_ = lend;
+      range_rbegin_ = range_ri_ = ri_;
+      range_rend_ = rend;
+      li_ = lend;
+      ri_ = rend;
+    }
+  }
+
+ private:
+  int CompareKeys(const Row& l, const Row& r) const {
+    for (size_t i = 0; i < left_key_idx_.size(); ++i) {
+      int c = l[left_key_idx_[i]].Compare(r[right_key_idx_[i]]);
+      if (c != 0) return c;
+    }
+    return 0;
+  }
+
+  const PhysicalNode& node_;
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+  ExprPtr bound_residual_;
+  std::vector<int> map_;
+  std::vector<Row> left_rows_;
+  std::vector<Row> right_rows_;
+  size_t li_ = 0, ri_ = 0;
+  size_t range_li_ = 0, range_lend_ = 0;
+  size_t range_rbegin_ = 0, range_ri_ = 0, range_rend_ = 0;
+};
+
+// Index nested-loop join: for every outer row, probes the inner base
+// table's sorted index at the join-key value; inner local predicates and
+// the residual are applied per match.
+class IndexNlJoinOp : public Operator {
+ public:
+  IndexNlJoinOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node),
+        ctx_(ctx),
+        outer_(BuildOperator(*node.children[0], ctx)) {}
+
+  void Open() override {
+    const Layout& outer_layout = node_.children[0]->output;
+    CHECK(node_.join_keys.size() == 1);
+    outer_key_idx_ = outer_layout.IndexOf(node_.join_keys[0].first);
+    CHECK(outer_key_idx_ >= 0) << "outer join key missing";
+    index_ = node_.table->GetIndex(node_.index_range.column_idx);
+    CHECK(index_ != nullptr) << "index missing on " << node_.table->name();
+
+    Layout inner_layout(node_.input_cols);
+    bound_inner_filter_ =
+        node_.filter ? BindExpr(node_.filter, inner_layout) : nullptr;
+    std::vector<ColId> concat = outer_layout.cols();
+    concat.insert(concat.end(), node_.input_cols.begin(),
+                  node_.input_cols.end());
+    Layout concat_layout(std::move(concat));
+    bound_residual_ = node_.join_residual
+                          ? BindExpr(node_.join_residual, concat_layout)
+                          : nullptr;
+    map_ = MappingTo(concat_layout, node_.output);
+    outer_->Open();
+    match_idx_ = 0;
+    matches_.clear();
+  }
+
+  bool Next(Row* out) override {
+    while (true) {
+      while (match_idx_ < matches_.size()) {
+        const Row& inner = node_.table->rows()[matches_[match_idx_++]];
+        ++ctx_->rows_scanned;
+        if (bound_inner_filter_ != nullptr &&
+            !EvalPredicate(bound_inner_filter_, inner)) {
+          continue;
+        }
+        Row concat = current_outer_;
+        concat.insert(concat.end(), inner.begin(), inner.end());
+        if (bound_residual_ != nullptr &&
+            !EvalPredicate(bound_residual_, concat)) {
+          continue;
+        }
+        *out = ApplyMapping(concat, map_);
+        return true;
+      }
+      if (!outer_->Next(&current_outer_)) return false;
+      const Value& key = current_outer_[outer_key_idx_];
+      matches_.clear();
+      match_idx_ = 0;
+      if (key.is_null()) continue;  // nulls never join
+      matches_ = index_->RangeLookup(&key, true, &key, true,
+                                     node_.table->rows());
+    }
+  }
+
+ private:
+  const PhysicalNode& node_;
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> outer_;
+  int outer_key_idx_ = -1;
+  const SortedIndex* index_ = nullptr;
+  ExprPtr bound_inner_filter_;
+  ExprPtr bound_residual_;
+  std::vector<int> map_;
+  Row current_outer_;
+  std::vector<int64_t> matches_;
+  size_t match_idx_ = 0;
+};
+
+// ----------------------------------------------------------- aggregation ---
+
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+
+  void Open() override {
+    child_->Open();
+    const Layout& child_layout = node_.children[0]->output;
+    group_idx_.clear();
+    for (ColId c : node_.group_cols) {
+      int idx = child_layout.IndexOf(c);
+      CHECK(idx >= 0) << "group column missing";
+      group_idx_.push_back(idx);
+    }
+    bound_args_.clear();
+    for (const AggregateItem& a : node_.aggs) {
+      bound_args_.push_back(a.arg ? BindExpr(a.arg, child_layout) : nullptr);
+    }
+    // Result layout: group cols then agg outputs.
+    std::vector<ColId> natural = node_.group_cols;
+    for (const AggregateItem& a : node_.aggs) natural.push_back(a.output);
+    map_ = MappingTo(Layout(natural), node_.output);
+
+    // Aggregate everything up front.
+    std::unordered_map<RowKey, std::vector<AggAccumulator>, RowKeyHash> groups;
+    Row row;
+    while (child_->Next(&row)) {
+      RowKey key{Row()};
+      key.values.reserve(group_idx_.size());
+      for (int i : group_idx_) key.values.push_back(row[i]);
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) {
+        it->second.reserve(node_.aggs.size());
+        for (const AggregateItem& a : node_.aggs) {
+          it->second.emplace_back(a.fn);
+        }
+      }
+      for (size_t i = 0; i < node_.aggs.size(); ++i) {
+        Value v = bound_args_[i] ? EvalExpr(bound_args_[i], row)
+                                 : Value::Int64(1);  // COUNT(*)
+        it->second[i].Update(v);
+      }
+    }
+    results_.clear();
+    // Scalar aggregation (no group cols) over empty input yields one row.
+    if (groups.empty() && node_.group_cols.empty()) {
+      Row out_row;
+      for (const AggregateItem& a : node_.aggs) {
+        AggAccumulator acc(a.fn);
+        out_row.push_back(acc.Final(ResultType(a)));
+      }
+      results_.push_back(ApplyMapping(out_row, map_));
+    }
+    for (auto& [key, accs] : groups) {
+      Row natural_row = key.values;
+      for (size_t i = 0; i < accs.size(); ++i) {
+        natural_row.push_back(accs[i].Final(ResultType(node_.aggs[i])));
+      }
+      results_.push_back(ApplyMapping(natural_row, map_));
+    }
+    cursor_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    if (cursor_ >= results_.size()) return false;
+    *out = results_[cursor_++];
+    return true;
+  }
+
+ private:
+  static DataType ResultType(const AggregateItem& a) {
+    return AggResultType(a.fn,
+                         a.arg ? a.arg->type : DataType::kInt64);
+  }
+
+  const PhysicalNode& node_;
+  std::unique_ptr<Operator> child_;
+  std::vector<int> group_idx_;
+  std::vector<ExprPtr> bound_args_;
+  std::vector<int> map_;
+  std::vector<Row> results_;
+  size_t cursor_ = 0;
+};
+
+// -------------------------------------------------------- project / sort ---
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+
+  void Open() override {
+    child_->Open();
+    const Layout& child_layout = node_.children[0]->output;
+    bound_.clear();
+    std::vector<ColId> natural;
+    for (const ProjectItem& p : node_.projections) {
+      bound_.push_back(BindExpr(p.expr, child_layout));
+      natural.push_back(p.output);
+    }
+    map_ = MappingTo(Layout(natural), node_.output);
+  }
+
+  bool Next(Row* out) override {
+    Row row;
+    if (!child_->Next(&row)) return false;
+    Row natural;
+    natural.reserve(bound_.size());
+    for (const ExprPtr& e : bound_) natural.push_back(EvalExpr(e, row));
+    *out = ApplyMapping(natural, map_);
+    return true;
+  }
+
+ private:
+  const PhysicalNode& node_;
+  std::unique_ptr<Operator> child_;
+  std::vector<ExprPtr> bound_;
+  std::vector<int> map_;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(const PhysicalNode& node, ExecContext* ctx)
+      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+
+  void Open() override {
+    child_->Open();
+    const Layout& child_layout = node_.children[0]->output;
+    key_idx_.clear();
+    for (const SortKey& k : node_.sort_keys) {
+      int idx = child_layout.IndexOf(k.col);
+      CHECK(idx >= 0) << "sort key missing";
+      key_idx_.push_back(idx);
+    }
+    map_ = MappingTo(child_layout, node_.output);
+    rows_.clear();
+    Row row;
+    while (child_->Next(&row)) rows_.push_back(std::move(row));
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (size_t i = 0; i < key_idx_.size(); ++i) {
+                         int c = a[key_idx_[i]].Compare(b[key_idx_[i]]);
+                         if (c != 0) {
+                           return node_.sort_keys[i].descending ? c > 0
+                                                                : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+    if (node_.limit >= 0 &&
+        rows_.size() > static_cast<size_t>(node_.limit)) {
+      rows_.resize(static_cast<size_t>(node_.limit));
+    }
+    cursor_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    if (cursor_ >= rows_.size()) return false;
+    *out = ApplyMapping(rows_[cursor_++], map_);
+    return true;
+  }
+
+ private:
+  const PhysicalNode& node_;
+  std::unique_ptr<Operator> child_;
+  std::vector<int> key_idx_;
+  std::vector<int> map_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> BuildOperator(const PhysicalNode& node,
+                                        ExecContext* ctx) {
+  switch (node.kind) {
+    case PhysOpKind::kTableScan:
+    case PhysOpKind::kIndexScan:
+      return std::make_unique<TableScanOp>(node, ctx);
+    case PhysOpKind::kSpoolScan:
+      return std::make_unique<SpoolScanOp>(node, ctx);
+    case PhysOpKind::kFilter:
+      return std::make_unique<FilterOp>(node, ctx);
+    case PhysOpKind::kHashJoin:
+      return std::make_unique<HashJoinOp>(node, ctx);
+    case PhysOpKind::kMergeJoin:
+      return std::make_unique<MergeJoinOp>(node, ctx);
+    case PhysOpKind::kIndexNlJoin:
+      return std::make_unique<IndexNlJoinOp>(node, ctx);
+    case PhysOpKind::kNlJoin:
+      return std::make_unique<NlJoinOp>(node, ctx);
+    case PhysOpKind::kHashAgg:
+      return std::make_unique<HashAggOp>(node, ctx);
+    case PhysOpKind::kProject:
+      return std::make_unique<ProjectOp>(node, ctx);
+    case PhysOpKind::kSort:
+      return std::make_unique<SortOp>(node, ctx);
+    case PhysOpKind::kBatch:
+      CHECK(false) << "Batch nodes are executed by the Executor";
+  }
+  return nullptr;
+}
+
+std::vector<Row> RunToVector(const PhysicalNode& node, ExecContext* ctx) {
+  std::unique_ptr<Operator> op = BuildOperator(node, ctx);
+  op->Open();
+  std::vector<Row> out;
+  Row row;
+  while (op->Next(&row)) out.push_back(std::move(row));
+  return out;
+}
+
+}  // namespace subshare

@@ -1,0 +1,40 @@
+// Pull-based (iterator) execution operators for PhysicalNode trees.
+//
+// Every operator yields rows in its node's declared output Layout; internal
+// layouts (e.g. the natural concatenation of join inputs) are remapped via
+// precomputed index vectors at Open() time.
+#ifndef SUBSHARE_PHYSICAL_OPERATORS_H_
+#define SUBSHARE_PHYSICAL_OPERATORS_H_
+
+#include <memory>
+
+#include "physical/physical_plan.h"
+#include "storage/work_table.h"
+
+namespace subshare {
+
+// Shared execution state: work tables for spooled CSE results plus counters.
+struct ExecContext {
+  WorkTableManager* work_tables = nullptr;
+  int64_t rows_scanned = 0;   // base-table + work-table rows read
+  int64_t rows_spooled = 0;   // rows written into work tables
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual void Open() = 0;
+  // Produces the next row (in the node's output layout); false at end.
+  virtual bool Next(Row* out) = 0;
+};
+
+// Instantiates the operator implementing `node` (recursively).
+std::unique_ptr<Operator> BuildOperator(const PhysicalNode& node,
+                                        ExecContext* ctx);
+
+// Runs `node` to completion and returns all rows.
+std::vector<Row> RunToVector(const PhysicalNode& node, ExecContext* ctx);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_PHYSICAL_OPERATORS_H_

@@ -1,0 +1,89 @@
+// Abstract syntax tree for the supported SQL subset:
+//
+//   SELECT item[, ...] FROM table [alias][, ...]
+//   [WHERE pred] [GROUP BY col[, ...]] [HAVING pred]
+//   [ORDER BY item [ASC|DESC][, ...]]
+//
+// with aggregates sum/count/min/max/avg, arithmetic, AND/OR/NOT,
+// comparisons, and uncorrelated scalar subqueries (in WHERE/HAVING).
+// Batches are ';'-separated statements.
+#ifndef SUBSHARE_SQL_AST_H_
+#define SUBSHARE_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace subshare::sql {
+
+struct AstSelect;
+
+enum class AstExprKind {
+  kColumnRef,   // [qualifier.]name
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kComparison,  // children: lhs, rhs
+  kAnd,
+  kOr,
+  kNot,
+  kArith,       // children: lhs, rhs
+  kAggregate,   // fn over children[0] (absent for count(*))
+  kSubquery,    // scalar subquery
+};
+
+enum class AstCmp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class AstArith { kAdd, kSub, kMul, kDiv };
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kIntLiteral;
+
+  std::string qualifier;  // kColumnRef: table alias (may be empty)
+  std::string name;       // kColumnRef column name / kAggregate fn name
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+  AstCmp cmp = AstCmp::kEq;
+  AstArith arith = AstArith::kAdd;
+  bool count_star = false;
+
+  std::vector<std::unique_ptr<AstExpr>> children;
+  std::unique_ptr<AstSelect> subquery;
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstSelectItem {
+  AstExprPtr expr;     // null for '*'
+  std::string alias;   // may be empty
+  bool star = false;
+};
+
+struct AstTableRef {
+  std::string table;                 // empty for derived tables
+  std::string alias;                 // defaults to table name
+  std::unique_ptr<AstSelect> derived;  // FROM (select ...) alias
+};
+
+struct AstOrderItem {
+  AstExprPtr expr;
+  bool descending = false;
+};
+
+struct AstSelect {
+  bool explain = false;   // EXPLAIN SELECT ...: plan only
+  bool distinct = false;
+  std::vector<AstSelectItem> items;
+  std::vector<AstTableRef> from;
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<AstOrderItem> order_by;
+  int64_t limit = -1;  // -1: no LIMIT
+};
+
+using AstSelectPtr = std::unique_ptr<AstSelect>;
+
+}  // namespace subshare::sql
+
+#endif  // SUBSHARE_SQL_AST_H_

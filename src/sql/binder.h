@@ -1,0 +1,32 @@
+// Name resolution and lowering: AST -> logical trees.
+//
+// The binder
+//   - registers one relation instance per FROM entry (so identical tables in
+//     different statements stay distinct in the memo),
+//   - pushes single-relation conjuncts into Get, multi-relation conjuncts
+//     into JoinSet,
+//   - lowers AVG(x) to SUM(x)/COUNT(x) so only decomposable aggregates reach
+//     the optimizer,
+//   - lowers uncorrelated scalar subqueries to a cross join with a
+//     single-row block (below GroupBy for WHERE subqueries, above for
+//     HAVING),
+//   - coerces 'YYYY-MM-DD' string literals compared against DATE columns.
+#ifndef SUBSHARE_SQL_BINDER_H_
+#define SUBSHARE_SQL_BINDER_H_
+
+#include "logical/query.h"
+#include "sql/ast.h"
+
+namespace subshare::sql {
+
+// Binds one parsed statement into `ctx`.
+StatusOr<Statement> BindSelect(const AstSelect& ast, QueryContext* ctx,
+                               const std::string& text = "");
+
+// Parses + binds a ';'-separated batch.
+StatusOr<std::vector<Statement>> BindSql(const std::string& sql,
+                                         QueryContext* ctx);
+
+}  // namespace subshare::sql
+
+#endif  // SUBSHARE_SQL_BINDER_H_

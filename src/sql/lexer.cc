@@ -1,0 +1,110 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace subshare::sql {
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_' || sql[i] == '@')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = ToLower(sql.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      tok.text = text;
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.double_value = std::stod(text);
+      } else {
+        tok.type = TokenType::kInt;
+        tok.int_value = std::stoll(text);
+      }
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %d",
+                      tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+    } else {
+      tok.type = TokenType::kSymbol;
+      // two-char operators
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          tok.text = two == "!=" ? "<>" : two;
+          i += 2;
+          tokens.push_back(std::move(tok));
+          continue;
+        }
+      }
+      switch (c) {
+        case ',': case '.': case '(': case ')': case '=': case '<':
+        case '>': case '+': case '-': case '*': case '/': case ';':
+          tok.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %d", c,
+                        tok.position));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace subshare::sql

@@ -1,0 +1,34 @@
+// SQL tokenizer.
+#ifndef SUBSHARE_SQL_LEXER_H_
+#define SUBSHARE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace subshare::sql {
+
+enum class TokenType {
+  kIdent,     // identifiers and keywords (lower-cased in `text`)
+  kInt,
+  kDouble,
+  kString,    // contents without quotes
+  kSymbol,    // one of , . ( ) = < > <= >= <> + - * / ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  int position = 0;  // byte offset, for error messages
+};
+
+// Tokenizes `sql`; the final token is kEnd.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace subshare::sql
+
+#endif  // SUBSHARE_SQL_LEXER_H_

@@ -1,0 +1,441 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace subshare::sql {
+
+namespace {
+
+bool IsAggregateName(const std::string& s) {
+  return s == "sum" || s == "count" || s == "min" || s == "max" || s == "avg";
+}
+
+// Deep copy of an AST expression (used when BETWEEN / IN duplicate the
+// left-hand side). Subqueries are not copyable operands for these forms.
+AstExprPtr CloneExpr(const AstExpr& e) {
+  auto copy = std::make_unique<AstExpr>();
+  copy->kind = e.kind;
+  copy->qualifier = e.qualifier;
+  copy->name = e.name;
+  copy->int_value = e.int_value;
+  copy->double_value = e.double_value;
+  copy->string_value = e.string_value;
+  copy->cmp = e.cmp;
+  copy->arith = e.arith;
+  copy->count_star = e.count_star;
+  for (const auto& c : e.children) copy->children.push_back(CloneExpr(*c));
+  return copy;
+}
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<AstSelectPtr> ParseSelectStatement() {
+    ASSIGN_OR_RETURN(AstSelectPtr sel, ParseSelectBody());
+    if (!AtEnd() && !PeekSymbol(";")) {
+      return Error("unexpected trailing input");
+    }
+    return sel;
+  }
+
+  StatusOr<std::vector<AstSelectPtr>> ParseBatchStatements() {
+    std::vector<AstSelectPtr> out;
+    while (!AtEnd()) {
+      if (PeekSymbol(";")) {
+        Advance();
+        continue;
+      }
+      ASSIGN_OR_RETURN(AstSelectPtr sel, ParseSelectBody());
+      out.push_back(std::move(sel));
+      if (!AtEnd() && !PeekSymbol(";")) {
+        return Error("expected ';' between statements");
+      }
+    }
+    if (out.empty()) return Error("empty batch");
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekSymbol(const std::string& s) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == s;
+  }
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kIdent && Peek().text == kw;
+  }
+  bool ConsumeSymbol(const std::string& s) {
+    if (!PeekSymbol(s)) return false;
+    Advance();
+    return true;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error near offset %d: %s", Peek().position,
+                  message.c_str()));
+  }
+
+  StatusOr<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::InvalidArgument(
+          StrFormat("parse error near offset %d: expected %s",
+                    Peek().position, what));
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  Status ExpectSymbol(const std::string& s) {
+    if (!ConsumeSymbol(s)) return Error("expected '" + s + "'");
+    return Status::Ok();
+  }
+
+  StatusOr<AstSelectPtr> ParseSelectBody() {
+    bool explain = ConsumeKeyword("explain");
+    if (!ConsumeKeyword("select")) return Error("expected SELECT");
+    auto sel = std::make_unique<AstSelect>();
+    sel->explain = explain;
+    sel->distinct = ConsumeKeyword("distinct");
+
+    // select list
+    do {
+      AstSelectItem item;
+      if (ConsumeSymbol("*")) {
+        item.star = true;
+      } else {
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("as")) {
+          ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        } else if (Peek().type == TokenType::kIdent &&
+                   !PeekKeyword("from")) {
+          // bare alias
+          ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        }
+      }
+      sel->items.push_back(std::move(item));
+    } while (ConsumeSymbol(","));
+
+    if (!ConsumeKeyword("from")) return Error("expected FROM");
+    do {
+      AstTableRef ref;
+      if (ConsumeSymbol("(")) {
+        // Derived table: FROM (select ...) [as] alias
+        ASSIGN_OR_RETURN(ref.derived, ParseSelectBody());
+        RETURN_IF_ERROR(ExpectSymbol(")"));
+        ConsumeKeyword("as");
+        ASSIGN_OR_RETURN(ref.alias, ExpectIdent("derived-table alias"));
+      } else {
+        ASSIGN_OR_RETURN(ref.table, ExpectIdent("table name"));
+        ref.alias = ref.table;
+        if (ConsumeKeyword("as")) {
+          ASSIGN_OR_RETURN(ref.alias, ExpectIdent("table alias"));
+        } else if (Peek().type == TokenType::kIdent && !IsClauseKeyword()) {
+          ASSIGN_OR_RETURN(ref.alias, ExpectIdent("table alias"));
+        }
+      }
+      sel->from.push_back(std::move(ref));
+    } while (ConsumeSymbol(","));
+
+    if (ConsumeKeyword("where")) {
+      ASSIGN_OR_RETURN(sel->where, ParseExpr());
+    }
+    if (ConsumeKeyword("group")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after GROUP");
+      do {
+        ASSIGN_OR_RETURN(AstExprPtr col, ParseExpr());
+        sel->group_by.push_back(std::move(col));
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeKeyword("having")) {
+      ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+    if (ConsumeKeyword("order")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after ORDER");
+      do {
+        AstOrderItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("desc")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("asc");
+        }
+        sel->order_by.push_back(std::move(item));
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeKeyword("limit")) {
+      if (Peek().type != TokenType::kInt || Peek().int_value < 0) {
+        return Error("LIMIT expects a non-negative integer");
+      }
+      sel->limit = Peek().int_value;
+      Advance();
+    }
+    return sel;
+  }
+
+  bool IsClauseKeyword() const {
+    const std::string& t = Peek().text;
+    return t == "where" || t == "group" || t == "having" || t == "order" ||
+           t == "from" || t == "as" || t == "on" || t == "limit";
+  }
+
+  // expr := or_term
+  StatusOr<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<AstExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("or")) {
+      ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAnd());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kOr;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<AstExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(AstExprPtr lhs, ParseNot());
+    while (ConsumeKeyword("and")) {
+      ASSIGN_OR_RETURN(AstExprPtr rhs, ParseNot());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kAnd;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<AstExprPtr> ParseNot() {
+    if (ConsumeKeyword("not")) {
+      ASSIGN_OR_RETURN(AstExprPtr child, ParseNot());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kNot;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<AstExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAdditive());
+    // x BETWEEN a AND b  ->  x >= a AND x <= b
+    if (ConsumeKeyword("between")) {
+      ASSIGN_OR_RETURN(AstExprPtr lo, ParseAdditive());
+      if (!ConsumeKeyword("and")) return Error("expected AND in BETWEEN");
+      ASSIGN_OR_RETURN(AstExprPtr hi, ParseAdditive());
+      auto ge = std::make_unique<AstExpr>();
+      ge->kind = AstExprKind::kComparison;
+      ge->cmp = AstCmp::kGe;
+      auto lhs_copy = CloneExpr(*lhs);
+      ge->children.push_back(std::move(lhs));
+      ge->children.push_back(std::move(lo));
+      auto le = std::make_unique<AstExpr>();
+      le->kind = AstExprKind::kComparison;
+      le->cmp = AstCmp::kLe;
+      le->children.push_back(std::move(lhs_copy));
+      le->children.push_back(std::move(hi));
+      auto both = std::make_unique<AstExpr>();
+      both->kind = AstExprKind::kAnd;
+      both->children.push_back(std::move(ge));
+      both->children.push_back(std::move(le));
+      return both;
+    }
+    // x IN (v1, v2, ...)  ->  x = v1 OR x = v2 OR ...
+    if (ConsumeKeyword("in")) {
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      AstExprPtr disjunction;
+      do {
+        ASSIGN_OR_RETURN(AstExprPtr value, ParseAdditive());
+        auto eq = std::make_unique<AstExpr>();
+        eq->kind = AstExprKind::kComparison;
+        eq->cmp = AstCmp::kEq;
+        eq->children.push_back(CloneExpr(*lhs));
+        eq->children.push_back(std::move(value));
+        if (disjunction == nullptr) {
+          disjunction = std::move(eq);
+        } else {
+          auto orr = std::make_unique<AstExpr>();
+          orr->kind = AstExprKind::kOr;
+          orr->children.push_back(std::move(disjunction));
+          orr->children.push_back(std::move(eq));
+          disjunction = std::move(orr);
+        }
+      } while (ConsumeSymbol(","));
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      return disjunction;
+    }
+    AstCmp op;
+    if (ConsumeSymbol("=")) {
+      op = AstCmp::kEq;
+    } else if (ConsumeSymbol("<>")) {
+      op = AstCmp::kNe;
+    } else if (ConsumeSymbol("<=")) {
+      op = AstCmp::kLe;
+    } else if (ConsumeSymbol(">=")) {
+      op = AstCmp::kGe;
+    } else if (ConsumeSymbol("<")) {
+      op = AstCmp::kLt;
+    } else if (ConsumeSymbol(">")) {
+      op = AstCmp::kGt;
+    } else {
+      return lhs;
+    }
+    ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAdditive());
+    auto node = std::make_unique<AstExpr>();
+    node->kind = AstExprKind::kComparison;
+    node->cmp = op;
+    node->children.push_back(std::move(lhs));
+    node->children.push_back(std::move(rhs));
+    return node;
+  }
+
+  StatusOr<AstExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(AstExprPtr lhs, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      AstArith op = PeekSymbol("+") ? AstArith::kAdd : AstArith::kSub;
+      Advance();
+      ASSIGN_OR_RETURN(AstExprPtr rhs, ParseMultiplicative());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kArith;
+      node->arith = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<AstExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(AstExprPtr lhs, ParsePrimary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      AstArith op = PeekSymbol("*") ? AstArith::kMul : AstArith::kDiv;
+      Advance();
+      ASSIGN_OR_RETURN(AstExprPtr rhs, ParsePrimary());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kArith;
+      node->arith = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<AstExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    auto node = std::make_unique<AstExpr>();
+    switch (tok.type) {
+      case TokenType::kInt:
+        node->kind = AstExprKind::kIntLiteral;
+        node->int_value = tok.int_value;
+        Advance();
+        return node;
+      case TokenType::kDouble:
+        node->kind = AstExprKind::kDoubleLiteral;
+        node->double_value = tok.double_value;
+        Advance();
+        return node;
+      case TokenType::kString:
+        node->kind = AstExprKind::kStringLiteral;
+        node->string_value = tok.text;
+        Advance();
+        return node;
+      case TokenType::kSymbol:
+        if (tok.text == "(") {
+          Advance();
+          if (PeekKeyword("select")) {  // scalar subquery
+            ASSIGN_OR_RETURN(AstSelectPtr sub, ParseSelectBody());
+            RETURN_IF_ERROR(ExpectSymbol(")"));
+            node->kind = AstExprKind::kSubquery;
+            node->subquery = std::move(sub);
+            return node;
+          }
+          ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+          RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (tok.text == "-") {  // unary minus on a literal
+          Advance();
+          ASSIGN_OR_RETURN(AstExprPtr inner, ParsePrimary());
+          if (inner->kind == AstExprKind::kIntLiteral) {
+            inner->int_value = -inner->int_value;
+            return inner;
+          }
+          if (inner->kind == AstExprKind::kDoubleLiteral) {
+            inner->double_value = -inner->double_value;
+            return inner;
+          }
+          // 0 - expr
+          auto zero = std::make_unique<AstExpr>();
+          zero->kind = AstExprKind::kIntLiteral;
+          node->kind = AstExprKind::kArith;
+          node->arith = AstArith::kSub;
+          node->children.push_back(std::move(zero));
+          node->children.push_back(std::move(inner));
+          return node;
+        }
+        return Error("unexpected symbol '" + tok.text + "'");
+      case TokenType::kIdent: {
+        std::string first = tok.text;
+        Advance();
+        if (IsAggregateName(first) && PeekSymbol("(")) {
+          Advance();
+          node->kind = AstExprKind::kAggregate;
+          node->name = first;
+          if (first == "count" && ConsumeSymbol("*")) {
+            node->count_star = true;
+          } else {
+            ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+            node->children.push_back(std::move(arg));
+          }
+          RETURN_IF_ERROR(ExpectSymbol(")"));
+          return node;
+        }
+        node->kind = AstExprKind::kColumnRef;
+        if (ConsumeSymbol(".")) {
+          node->qualifier = first;
+          ASSIGN_OR_RETURN(node->name, ExpectIdent("column name"));
+        } else {
+          node->name = first;
+        }
+        return node;
+      }
+      case TokenType::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<AstSelectPtr> ParseSelect(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelectStatement();
+}
+
+StatusOr<std::vector<AstSelectPtr>> ParseBatch(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseBatchStatements();
+}
+
+}  // namespace subshare::sql

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the supported SQL subset (see ast.h).
+#ifndef SUBSHARE_SQL_PARSER_H_
+#define SUBSHARE_SQL_PARSER_H_
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace subshare::sql {
+
+// Parses one SELECT statement.
+StatusOr<AstSelectPtr> ParseSelect(const std::string& sql);
+
+// Parses a ';'-separated batch of SELECT statements.
+StatusOr<std::vector<AstSelectPtr>> ParseBatch(const std::string& sql);
+
+}  // namespace subshare::sql
+
+#endif  // SUBSHARE_SQL_PARSER_H_

@@ -1,0 +1,147 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace {
+constexpr int kHistogramBuckets = 64;
+constexpr size_t kHistogramMinRows = 100;
+}  // namespace
+
+namespace subshare {
+
+SortedIndex::SortedIndex(const std::vector<Row>& rows, int column)
+    : column_(column) {
+  order_.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) order_[i] = static_cast<int64_t>(i);
+  std::sort(order_.begin(), order_.end(), [&](int64_t a, int64_t b) {
+    return rows[a][column].Compare(rows[b][column]) < 0;
+  });
+}
+
+std::vector<int64_t> SortedIndex::RangeLookup(
+    const Value* lo, bool lo_inclusive, const Value* hi, bool hi_inclusive,
+    const std::vector<Row>& rows) const {
+  auto value_less = [&](int64_t pos, const Value& v) {
+    return rows[pos][column_].Compare(v) < 0;
+  };
+  auto value_less_eq = [&](int64_t pos, const Value& v) {
+    return rows[pos][column_].Compare(v) <= 0;
+  };
+
+  size_t begin = 0;
+  if (lo != nullptr) {
+    auto it = lo_inclusive
+                  ? std::partition_point(
+                        order_.begin(), order_.end(),
+                        [&](int64_t pos) { return value_less(pos, *lo); })
+                  : std::partition_point(
+                        order_.begin(), order_.end(),
+                        [&](int64_t pos) { return value_less_eq(pos, *lo); });
+    begin = static_cast<size_t>(it - order_.begin());
+  }
+  size_t end = order_.size();
+  if (hi != nullptr) {
+    auto it = hi_inclusive
+                  ? std::partition_point(
+                        order_.begin(), order_.end(),
+                        [&](int64_t pos) { return value_less_eq(pos, *hi); })
+                  : std::partition_point(
+                        order_.begin(), order_.end(),
+                        [&](int64_t pos) { return value_less(pos, *hi); });
+    end = static_cast<size_t>(it - order_.begin());
+  }
+  if (end < begin) end = begin;
+  return std::vector<int64_t>(order_.begin() + begin, order_.begin() + end);
+}
+
+void Table::AppendRow(Row row) {
+  DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
+  rows_.push_back(std::move(row));
+  stats_valid_ = false;
+}
+
+void Table::AppendRows(std::vector<Row> rows) {
+  for (Row& r : rows) AppendRow(std::move(r));
+}
+
+void Table::Clear() {
+  rows_.clear();
+  indexes_.clear();
+  stats_valid_ = false;
+}
+
+void Table::ComputeStats() {
+  stats_.row_count = row_count();
+  stats_.columns.assign(schema_.num_columns(), ColumnStats{});
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    ColumnStats& cs = stats_.columns[c];
+    std::unordered_set<size_t> hashes;
+    hashes.reserve(rows_.size());
+    bool first = true;
+    for (const Row& row : rows_) {
+      const Value& v = row[c];
+      if (v.is_null()) continue;
+      if (first || v.Compare(cs.min) < 0) cs.min = v;
+      if (first || v.Compare(cs.max) > 0) cs.max = v;
+      first = false;
+      hashes.insert(v.Hash());
+    }
+    cs.ndv = static_cast<int64_t>(hashes.size());
+
+    // Equi-depth histogram for numeric/date columns of non-trivial tables.
+    DataType type = schema_.column(c).type;
+    if (type == DataType::kString || type == DataType::kBool ||
+        rows_.size() < kHistogramMinRows) {
+      continue;
+    }
+    std::vector<double> values;
+    values.reserve(rows_.size());
+    for (const Row& row : rows_) {
+      if (!row[c].is_null()) values.push_back(row[c].AsDouble());
+    }
+    if (values.size() < kHistogramMinRows) continue;
+    std::sort(values.begin(), values.end());
+    cs.histogram_bounds.resize(kHistogramBuckets + 1);
+    for (int b = 0; b <= kHistogramBuckets; ++b) {
+      size_t idx = static_cast<size_t>(
+          (values.size() - 1) * static_cast<double>(b) / kHistogramBuckets);
+      cs.histogram_bounds[b] = values[idx];
+    }
+  }
+  stats_valid_ = true;
+}
+
+double ColumnStats::FractionAtMost(double v) const {
+  if (!histogram_bounds.empty()) {
+    const std::vector<double>& b = histogram_bounds;
+    const int n = static_cast<int>(b.size()) - 1;
+    if (v < b.front()) return 0.0;
+    if (v >= b.back()) return 1.0;
+    // Find the bucket containing v and interpolate inside it.
+    auto it = std::upper_bound(b.begin(), b.end(), v);
+    int bucket = static_cast<int>(it - b.begin()) - 1;
+    double lo = b[bucket], hi = b[bucket + 1];
+    double within = hi > lo ? (v - lo) / (hi - lo) : 1.0;
+    return (static_cast<double>(bucket) + within) / n;
+  }
+  if (min.is_null() || max.is_null() || min.type() == DataType::kString) {
+    return -1;
+  }
+  double lo = min.AsDouble(), hi = max.AsDouble();
+  if (hi <= lo) return v >= hi ? 1.0 : 0.0;
+  double frac = (v - lo) / (hi - lo);
+  return frac < 0 ? 0 : (frac > 1 ? 1 : frac);
+}
+
+void Table::CreateIndex(int column) {
+  CHECK(column >= 0 && column < schema_.num_columns());
+  indexes_[column] = std::make_unique<SortedIndex>(rows_, column);
+}
+
+const SortedIndex* Table::GetIndex(int column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace subshare

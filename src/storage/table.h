@@ -1,0 +1,102 @@
+// In-memory row-store tables, per-column statistics, and sorted indexes.
+#ifndef SUBSHARE_STORAGE_TABLE_H_
+#define SUBSHARE_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace subshare {
+
+using TableId = int;
+
+// Statistics for one column, used by the cardinality estimator.
+struct ColumnStats {
+  Value min;
+  Value max;
+  int64_t ndv = 0;  // number of distinct values
+
+  // Equi-depth histogram for numeric/date columns: `bounds[i]` is the value
+  // at quantile i / (bounds.size()-1) of the non-null sorted column, so each
+  // bucket holds ~the same number of rows. Empty for string columns and
+  // tiny tables.
+  std::vector<double> histogram_bounds;
+
+  // Estimated fraction of non-null values <= v; falls back to min/max
+  // interpolation when no histogram is available. Returns -1 when the
+  // column has no usable numeric statistics.
+  double FractionAtMost(double v) const;
+};
+
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+// A sorted secondary index on one column: row positions ordered by value.
+// Supports range lookups [lo, hi] with open/closed bounds.
+class SortedIndex {
+ public:
+  SortedIndex(const std::vector<Row>& rows, int column);
+
+  int column() const { return column_; }
+
+  // Row positions whose indexed value lies in the given range. Null bounds
+  // mean unbounded on that side.
+  std::vector<int64_t> RangeLookup(const Value* lo, bool lo_inclusive,
+                                   const Value* hi, bool hi_inclusive,
+                                   const std::vector<Row>& rows) const;
+
+ private:
+  int column_;
+  std::vector<int64_t> order_;  // row positions sorted by column value
+};
+
+// A named, schema'd collection of rows with statistics and optional indexes.
+class Table {
+ public:
+  Table(TableId id, std::string name, Schema schema)
+      : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+
+  void AppendRow(Row row);
+  void AppendRows(std::vector<Row> rows);
+  void Clear();
+
+  // Recomputes row count, min/max and exact NDV per column. Called once
+  // after bulk load; cheap at this repo's scale factors.
+  void ComputeStats();
+  const TableStats& stats() const { return stats_; }
+  // True once ComputeStats has run for the current contents.
+  bool stats_valid() const { return stats_valid_; }
+
+  // Builds (or rebuilds) a sorted index on `column`.
+  void CreateIndex(int column);
+  // Returns the index on `column`, or nullptr.
+  const SortedIndex* GetIndex(int column) const;
+
+ private:
+  TableId id_;
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  TableStats stats_;
+  bool stats_valid_ = false;
+  std::map<int, std::unique_ptr<SortedIndex>> indexes_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_STORAGE_TABLE_H_

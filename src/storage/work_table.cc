@@ -1,0 +1,24 @@
+#include "storage/work_table.h"
+
+#include "util/check.h"
+
+namespace subshare {
+
+WorkTable* WorkTableManager::Create(int cse_id, Schema schema) {
+  auto table = std::make_unique<WorkTable>(std::move(schema));
+  WorkTable* raw = table.get();
+  tables_[cse_id] = std::move(table);
+  return raw;
+}
+
+WorkTable* WorkTableManager::Get(int cse_id) {
+  auto it = tables_.find(cse_id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const WorkTable* WorkTableManager::Get(int cse_id) const {
+  auto it = tables_.find(cse_id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace subshare

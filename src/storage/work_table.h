@@ -1,0 +1,46 @@
+// Work tables: transient spool targets for materialized CSE results.
+//
+// The paper's spool operator "materializes the result in a work table so that
+// it can be reused multiple times" (§2.2). The executor evaluates each chosen
+// CSE once into a WorkTable; SpoolScan operators then read it.
+#ifndef SUBSHARE_STORAGE_WORK_TABLE_H_
+#define SUBSHARE_STORAGE_WORK_TABLE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace subshare {
+
+class WorkTable {
+ public:
+  explicit WorkTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+
+  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+// Keyed by candidate-CSE id for the duration of one batch execution.
+class WorkTableManager {
+ public:
+  WorkTable* Create(int cse_id, Schema schema);
+  WorkTable* Get(int cse_id);
+  const WorkTable* Get(int cse_id) const;
+  void Clear() { tables_.clear(); }
+
+ private:
+  std::unordered_map<int, std::unique_ptr<WorkTable>> tables_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_STORAGE_WORK_TABLE_H_

@@ -1,0 +1,291 @@
+#include "tpch/tpch.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "types/date.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace subshare::tpch {
+
+namespace {
+
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "HOUSEHOLD", "MACHINERY"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL",
+                                      "REG AIR", "SHIP", "TRUCK"};
+constexpr const char* kTypeSyllable1[] = {"STANDARD", "SMALL", "MEDIUM",
+                                          "LARGE", "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                          "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                          "COPPER"};
+constexpr const char* kContainers[] = {"SM CASE", "SM BOX", "LG CASE",
+                                       "LG BOX", "MED BAG", "JUMBO JAR"};
+constexpr const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// region of each nation, per the TPC-H spec.
+constexpr int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+
+int64_t ScaleRows(int64_t base, double sf) {
+  int64_t n = static_cast<int64_t>(base * sf);
+  return std::max<int64_t>(n, 1);
+}
+
+Schema RegionSchema() {
+  Schema s;
+  s.AddColumn("r_regionkey", DataType::kInt64);
+  s.AddColumn("r_name", DataType::kString);
+  s.AddColumn("r_comment", DataType::kString);
+  return s;
+}
+
+Schema NationSchema() {
+  Schema s;
+  s.AddColumn("n_nationkey", DataType::kInt64);
+  s.AddColumn("n_name", DataType::kString);
+  s.AddColumn("n_regionkey", DataType::kInt64);
+  s.AddColumn("n_comment", DataType::kString);
+  return s;
+}
+
+Schema SupplierSchema() {
+  Schema s;
+  s.AddColumn("s_suppkey", DataType::kInt64);
+  s.AddColumn("s_name", DataType::kString);
+  s.AddColumn("s_nationkey", DataType::kInt64);
+  s.AddColumn("s_acctbal", DataType::kDouble);
+  s.AddColumn("s_comment", DataType::kString);
+  return s;
+}
+
+Schema PartSchema() {
+  Schema s;
+  s.AddColumn("p_partkey", DataType::kInt64);
+  s.AddColumn("p_name", DataType::kString);
+  s.AddColumn("p_brand", DataType::kString);
+  s.AddColumn("p_type", DataType::kString);
+  s.AddColumn("p_size", DataType::kInt64);
+  s.AddColumn("p_container", DataType::kString);
+  s.AddColumn("p_retailprice", DataType::kDouble);
+  return s;
+}
+
+Schema PartSuppSchema() {
+  Schema s;
+  s.AddColumn("ps_partkey", DataType::kInt64);
+  s.AddColumn("ps_suppkey", DataType::kInt64);
+  s.AddColumn("ps_availqty", DataType::kInt64);
+  s.AddColumn("ps_supplycost", DataType::kDouble);
+  return s;
+}
+
+Schema CustomerSchema() {
+  Schema s;
+  s.AddColumn("c_custkey", DataType::kInt64);
+  s.AddColumn("c_name", DataType::kString);
+  s.AddColumn("c_address", DataType::kString);
+  s.AddColumn("c_nationkey", DataType::kInt64);
+  s.AddColumn("c_phone", DataType::kString);
+  s.AddColumn("c_acctbal", DataType::kDouble);
+  s.AddColumn("c_mktsegment", DataType::kString);
+  return s;
+}
+
+Schema OrdersSchema() {
+  Schema s;
+  s.AddColumn("o_orderkey", DataType::kInt64);
+  s.AddColumn("o_custkey", DataType::kInt64);
+  s.AddColumn("o_orderstatus", DataType::kString);
+  s.AddColumn("o_totalprice", DataType::kDouble);
+  s.AddColumn("o_orderdate", DataType::kDate);
+  s.AddColumn("o_orderpriority", DataType::kString);
+  s.AddColumn("o_shippriority", DataType::kInt64);
+  return s;
+}
+
+Schema LineitemSchema() {
+  Schema s;
+  s.AddColumn("l_orderkey", DataType::kInt64);
+  s.AddColumn("l_partkey", DataType::kInt64);
+  s.AddColumn("l_suppkey", DataType::kInt64);
+  s.AddColumn("l_linenumber", DataType::kInt64);
+  s.AddColumn("l_quantity", DataType::kDouble);
+  s.AddColumn("l_extendedprice", DataType::kDouble);
+  s.AddColumn("l_discount", DataType::kDouble);
+  s.AddColumn("l_tax", DataType::kDouble);
+  s.AddColumn("l_returnflag", DataType::kString);
+  s.AddColumn("l_linestatus", DataType::kString);
+  s.AddColumn("l_shipdate", DataType::kDate);
+  s.AddColumn("l_shipmode", DataType::kString);
+  return s;
+}
+
+template <typename T, size_t N>
+const char* Pick(Rng& rng, T (&arr)[N]) {
+  return arr[rng.Uniform(0, static_cast<int64_t>(N) - 1)];
+}
+
+}  // namespace
+
+int64_t TpchRows(const std::string& table, double sf) {
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return ScaleRows(10000, sf);
+  if (table == "part") return ScaleRows(200000, sf);
+  if (table == "partsupp") return ScaleRows(200000, sf) * 4;
+  if (table == "customer") return ScaleRows(150000, sf);
+  if (table == "orders") return ScaleRows(150000, sf) * 10;
+  // lineitem rows are data dependent (1..7 per order, ~4 average).
+  return ScaleRows(150000, sf) * 40;
+}
+
+Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
+  const double sf = options.scale_factor;
+  Rng rng(options.seed);
+
+  const int64_t date_lo = CivilToDays(1992, 1, 1);
+  const int64_t date_hi = CivilToDays(1998, 8, 2);
+
+  // region
+  ASSIGN_OR_RETURN(Table * region, catalog->CreateTable("region",
+                                                        RegionSchema()));
+  for (int64_t k = 0; k < 5; ++k) {
+    region->AppendRow({Value::Int64(k), Value::String(kRegions[k]),
+                       Value::String("region comment")});
+  }
+
+  // nation
+  ASSIGN_OR_RETURN(Table * nation, catalog->CreateTable("nation",
+                                                        NationSchema()));
+  for (int64_t k = 0; k < 25; ++k) {
+    nation->AppendRow({Value::Int64(k), Value::String(kNations[k]),
+                       Value::Int64(kNationRegion[k]),
+                       Value::String("nation comment")});
+  }
+
+  // supplier
+  ASSIGN_OR_RETURN(Table * supplier,
+                   catalog->CreateTable("supplier", SupplierSchema()));
+  const int64_t n_supp = TpchRows("supplier", sf);
+  for (int64_t k = 1; k <= n_supp; ++k) {
+    supplier->AppendRow(
+        {Value::Int64(k), Value::String(StrFormat("Supplier#%09lld",
+                                                  static_cast<long long>(k))),
+         Value::Int64(rng.Uniform(0, 24)),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+         Value::String("supplier comment")});
+  }
+
+  // part
+  ASSIGN_OR_RETURN(Table * part, catalog->CreateTable("part", PartSchema()));
+  const int64_t n_part = TpchRows("part", sf);
+  for (int64_t k = 1; k <= n_part; ++k) {
+    std::string type = std::string(Pick(rng, kTypeSyllable1)) + " " +
+                       Pick(rng, kTypeSyllable2) + " " +
+                       Pick(rng, kTypeSyllable3);
+    part->AppendRow(
+        {Value::Int64(k),
+         Value::String(StrFormat("Part#%09lld", static_cast<long long>(k))),
+         Value::String(StrFormat("Brand#%lld%lld",
+                                 static_cast<long long>(rng.Uniform(1, 5)),
+                                 static_cast<long long>(rng.Uniform(1, 5)))),
+         Value::String(std::move(type)), Value::Int64(rng.Uniform(1, 50)),
+         Value::String(Pick(rng, kContainers)),
+         Value::Double(900.0 + (k % 1000) + 0.01 * (k % 100))});
+  }
+
+  // partsupp: 4 suppliers per part.
+  ASSIGN_OR_RETURN(Table * partsupp,
+                   catalog->CreateTable("partsupp", PartSuppSchema()));
+  for (int64_t p = 1; p <= n_part; ++p) {
+    for (int j = 0; j < 4; ++j) {
+      int64_t s = 1 + ((p + j * (n_supp / 4 + 1)) % n_supp);
+      partsupp->AppendRow({Value::Int64(p), Value::Int64(s),
+                           Value::Int64(rng.Uniform(1, 9999)),
+                           Value::Double(rng.Uniform(100, 100000) / 100.0)});
+    }
+  }
+
+  // customer
+  ASSIGN_OR_RETURN(Table * customer,
+                   catalog->CreateTable("customer", CustomerSchema()));
+  const int64_t n_cust = TpchRows("customer", sf);
+  for (int64_t k = 1; k <= n_cust; ++k) {
+    int64_t nk = rng.Uniform(0, 24);
+    customer->AppendRow(
+        {Value::Int64(k),
+         Value::String(StrFormat("Customer#%09lld", static_cast<long long>(k))),
+         Value::String("address"), Value::Int64(nk),
+         Value::String(StrFormat("%02lld-phone", static_cast<long long>(nk))),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+         Value::String(Pick(rng, kSegments))});
+  }
+
+  // orders + lineitem
+  ASSIGN_OR_RETURN(Table * orders, catalog->CreateTable("orders",
+                                                        OrdersSchema()));
+  ASSIGN_OR_RETURN(Table * lineitem,
+                   catalog->CreateTable("lineitem", LineitemSchema()));
+  const int64_t n_orders = TpchRows("orders", sf);
+  for (int64_t k = 1; k <= n_orders; ++k) {
+    int64_t custkey = rng.Uniform(1, n_cust);
+    int64_t odate = rng.Uniform(date_lo, date_hi);
+    int64_t n_lines = rng.Uniform(1, 7);
+    double total = 0;
+    for (int64_t ln = 1; ln <= n_lines; ++ln) {
+      int64_t partkey = rng.Uniform(1, n_part);
+      int64_t suppkey = rng.Uniform(1, n_supp);
+      double qty = static_cast<double>(rng.Uniform(1, 50));
+      double price = qty * (900.0 + (partkey % 1000) + 0.01 * (partkey % 100));
+      double discount = rng.Uniform(0, 10) / 100.0;
+      double tax = rng.Uniform(0, 8) / 100.0;
+      int64_t shipdate = odate + rng.Uniform(1, 121);
+      const char* rf = shipdate < CivilToDays(1995, 6, 17)
+                           ? (rng.Uniform(0, 1) ? "R" : "A")
+                           : "N";
+      lineitem->AppendRow(
+          {Value::Int64(k), Value::Int64(partkey), Value::Int64(suppkey),
+           Value::Int64(ln), Value::Double(qty), Value::Double(price),
+           Value::Double(discount), Value::Double(tax), Value::String(rf),
+           Value::String(shipdate < CivilToDays(1995, 6, 17) ? "F" : "O"),
+           Value::Date(shipdate), Value::String(Pick(rng, kShipModes))});
+      total += price * (1.0 - discount) * (1.0 + tax);
+    }
+    orders->AppendRow({Value::Int64(k), Value::Int64(custkey),
+                       Value::String(odate < CivilToDays(1995, 6, 17) ? "F"
+                                                                      : "O"),
+                       Value::Double(total), Value::Date(odate),
+                       Value::String(Pick(rng, kPriorities)),
+                       Value::Int64(0)});
+  }
+
+  for (const char* name :
+       {"region", "nation", "supplier", "part", "partsupp", "customer",
+        "orders", "lineitem"}) {
+    Table* t = catalog->GetTable(name);
+    t->ComputeStats();
+  }
+
+  if (options.build_indexes) {
+    customer->CreateIndex(customer->schema().FindColumn("c_custkey"));
+    orders->CreateIndex(orders->schema().FindColumn("o_orderkey"));
+    orders->CreateIndex(orders->schema().FindColumn("o_orderdate"));
+    lineitem->CreateIndex(lineitem->schema().FindColumn("l_orderkey"));
+    part->CreateIndex(part->schema().FindColumn("p_partkey"));
+    supplier->CreateIndex(supplier->schema().FindColumn("s_suppkey"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace subshare::tpch

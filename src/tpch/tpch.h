@@ -1,0 +1,35 @@
+// Deterministic TPC-H data generator (dbgen-style, scale-factor
+// parameterized). Produces all eight TPC-H tables with the columns, key
+// relationships, domains and skew the paper's experiments rely on:
+//   - 1:N customer->orders->lineitem chains with standard fan-outs,
+//   - o_orderdate uniform over 1992-01-01 .. 1998-08-02,
+//   - c_mktsegment over 5 segments, c_nationkey 0..24, n_regionkey 0..4,
+//   - p_type over 150 combinations, prices/discounts in TPC-H ranges.
+//
+// The paper ran at SF=1 (1 GB). This repo defaults to much smaller scale
+// factors; all experiment comparisons are ratio-based so the shapes are
+// preserved (see DESIGN.md "Substitutions").
+#ifndef SUBSHARE_TPCH_TPCH_H_
+#define SUBSHARE_TPCH_TPCH_H_
+
+#include "catalog/catalog.h"
+#include "util/status.h"
+
+namespace subshare::tpch {
+
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 20070611;  // SIGMOD'07 :-)
+  bool build_indexes = true;  // key columns + o_orderdate
+};
+
+// Creates and loads all eight TPC-H tables into `catalog`, computes
+// statistics and (optionally) indexes.
+Status LoadTpch(Catalog* catalog, const TpchOptions& options);
+
+// Cardinality of each table at the given scale factor.
+int64_t TpchRows(const std::string& table, double scale_factor);
+
+}  // namespace subshare::tpch
+
+#endif  // SUBSHARE_TPCH_TPCH_H_

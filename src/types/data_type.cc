@@ -1,0 +1,27 @@
+#include "types/data_type.h"
+
+namespace subshare {
+
+std::string DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+    case DataType::kDate: return "DATE";
+    case DataType::kBool: return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+int DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return 8;
+    case DataType::kDouble: return 8;
+    case DataType::kString: return 24;  // average TPC-H text column
+    case DataType::kDate: return 4;
+    case DataType::kBool: return 1;
+  }
+  return 8;
+}
+
+}  // namespace subshare

@@ -1,0 +1,25 @@
+// Scalar data types supported by the engine.
+#ifndef SUBSHARE_TYPES_DATA_TYPE_H_
+#define SUBSHARE_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace subshare {
+
+enum class DataType {
+  kInt64,    // integers and keys
+  kDouble,   // prices / decimals (TPC-H decimals are modeled as doubles)
+  kString,   // fixed and variable text
+  kDate,     // days since 1970-01-01, stored as int32 range in an int64
+  kBool,     // predicate results
+};
+
+std::string DataTypeName(DataType type);
+
+// Estimated in-memory width in bytes, used by the cost model for spool
+// materialization (C_W) and read (C_R) costs.
+int DataTypeWidth(DataType type);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_TYPES_DATA_TYPE_H_

@@ -1,0 +1,56 @@
+#include "types/date.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace subshare {
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms.
+int64_t CivilToDays(int year, int month, int day) {
+  int y = year - (month <= 2);
+  int era = (y >= 0 ? y : y - 399) / 400;
+  unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0,399]
+  unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;                               // [0,365]
+  unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0,146096]
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+void DaysToCivil(int64_t days, int* year, int* month, int* day) {
+  int64_t z = days + 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0,146096]
+  unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;        // [0,399]
+  int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0,365]
+  unsigned mp = (5 * doy + 2) / 153;                                // [0,11]
+  unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1,31]
+  unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));      // [1,12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+StatusOr<int64_t> ParseIsoDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (text.size() != 10 ||
+      std::sscanf(text.c_str(), "%4d-%2d-%2d", &y, &m, &d) != 3) {
+    return Status::InvalidArgument("bad date literal: '" + text + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31 || y < 1 || y > 9999) {
+    return Status::InvalidArgument("date out of range: '" + text + "'");
+  }
+  return CivilToDays(y, m, d);
+}
+
+std::string DaysToIsoDate(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+}  // namespace subshare

@@ -1,0 +1,26 @@
+// Proleptic-Gregorian date <-> days-since-epoch conversions (no timezone).
+#ifndef SUBSHARE_TYPES_DATE_H_
+#define SUBSHARE_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace subshare {
+
+// Days since 1970-01-01 for the given civil date (valid for years 1..9999).
+int64_t CivilToDays(int year, int month, int day);
+
+// Inverse of CivilToDays.
+void DaysToCivil(int64_t days, int* year, int* month, int* day);
+
+// Parses 'YYYY-MM-DD'.
+StatusOr<int64_t> ParseIsoDate(const std::string& text);
+
+// Formats days-since-epoch as 'YYYY-MM-DD'.
+std::string DaysToIsoDate(int64_t days);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_TYPES_DATE_H_

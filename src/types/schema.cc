@@ -1,0 +1,29 @@
+#include "types/schema.h"
+
+#include "util/string_util.h"
+
+namespace subshare {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::RowWidthBytes() const {
+  int width = 0;
+  for (const ColumnSchema& c : columns_) width += DataTypeWidth(c.type);
+  return width;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const ColumnSchema& c : columns_) {
+    parts.push_back(c.name + ":" + DataTypeName(c.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace subshare

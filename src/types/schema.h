@@ -1,0 +1,47 @@
+// Column and row schemas.
+#ifndef SUBSHARE_TYPES_SCHEMA_H_
+#define SUBSHARE_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+#include "util/status.h"
+
+namespace subshare {
+
+struct ColumnSchema {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSchema> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnSchema& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnSchema>& columns() const { return columns_; }
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  // Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  // Sum of estimated column widths in bytes (cost-model row width).
+  int RowWidthBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnSchema> columns_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_TYPES_SCHEMA_H_

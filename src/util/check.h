@@ -1,0 +1,75 @@
+// Lightweight assertion macros (the project does not use exceptions).
+//
+// CHECK(cond) aborts the process with a source location when `cond` is false.
+// It is always on; DCHECK compiles away in NDEBUG builds. Both accept a
+// streamed message: CHECK(x > 0) << "x was " << x;
+#ifndef SUBSHARE_UTIL_CHECK_H_
+#define SUBSHARE_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace subshare {
+namespace internal_check {
+
+// Accumulates a streamed message and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_check
+}  // namespace subshare
+
+#define SUBSHARE_CHECK_IMPL(cond)                                      \
+  (cond) ? (void)0                                                     \
+         : (void)(::subshare::internal_check::CheckFailure(__FILE__,   \
+                                                           __LINE__,   \
+                                                           #cond))
+
+#define CHECK(cond)                                               \
+  if (cond) {                                                     \
+  } else                                                          \
+    ::subshare::internal_check::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (true) {        \
+  } else             \
+    ::subshare::internal_check::NullStream()
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // SUBSHARE_UTIL_CHECK_H_

@@ -1,0 +1,32 @@
+// Hash helpers used by the memo and the CSE manager's signature table.
+#ifndef SUBSHARE_UTIL_HASH_H_
+#define SUBSHARE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace subshare {
+
+// Mixes `v` into the running hash `seed` (boost::hash_combine style with a
+// 64-bit golden-ratio constant).
+inline void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+template <typename T>
+void HashValue(size_t* seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+template <typename T>
+void HashRange(size_t* seed, const std::vector<T>& values) {
+  HashValue(seed, values.size());
+  for (const T& v : values) HashValue(seed, v);
+}
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_UTIL_HASH_H_

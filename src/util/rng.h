@@ -1,0 +1,42 @@
+// Deterministic pseudo-random generator for the TPC-H data generator and the
+// randomized property tests. splitmix64: fast, well distributed, and stable
+// across platforms so generated data (and therefore measured shapes) are
+// reproducible.
+#ifndef SUBSHARE_UTIL_RNG_H_
+#define SUBSHARE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace subshare {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_UTIL_RNG_H_

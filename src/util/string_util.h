@@ -1,0 +1,26 @@
+// Small string formatting helpers shared across modules.
+#ifndef SUBSHARE_UTIL_STRING_UTIL_H_
+#define SUBSHARE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace subshare {
+
+// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// ASCII lower-casing (SQL keywords / identifiers).
+std::string ToLower(const std::string& s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_UTIL_STRING_UTIL_H_

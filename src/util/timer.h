@@ -1,0 +1,29 @@
+// Wall-clock timer used by the benchmark harnesses and optimizer metrics.
+#ifndef SUBSHARE_UTIL_TIMER_H_
+#define SUBSHARE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace subshare {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_UTIL_TIMER_H_

@@ -1,0 +1,137 @@
+// Database facade tests: the public API surface downstream users touch.
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+
+namespace subshare {
+namespace {
+
+class ApiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    ASSERT_TRUE(db_->LoadTpch(0.002).ok());
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static Database* db_;
+};
+
+Database* ApiTest::db_ = nullptr;
+
+TEST_F(ApiTest, ExecuteReturnsColumnsAndRows) {
+  auto result = db_->Execute("select n_name as nation, n_regionkey "
+                             "from nation where n_nationkey < 3");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->column_names.size(), 1u);
+  EXPECT_EQ(result->column_names[0],
+            (std::vector<std::string>{"nation", "n_regionkey"}));
+  EXPECT_EQ(result->statements[0].rows.size(), 3u);
+  EXPECT_FALSE(result->plan_text.empty());
+}
+
+TEST_F(ApiTest, PlanOnlyModeSkipsExecution) {
+  QueryOptions options;
+  options.execute = false;
+  auto result = db_->Execute("select count(*) from lineitem", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->statements.empty());
+  EXPECT_GT(result->metrics.final_cost, 0);
+  EXPECT_NE(result->plan_text.find("lineitem"), std::string::npos);
+}
+
+TEST_F(ApiTest, NaivePlanModeBypassesOptimizer) {
+  QueryOptions naive;
+  naive.use_naive_plan = true;
+  auto a = db_->Execute("select count(*) from nation, region "
+                        "where n_regionkey = r_regionkey",
+                        naive);
+  auto b = db_->Execute("select count(*) from nation, region "
+                        "where n_regionkey = r_regionkey");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->statements[0].rows[0][0].AsInt64(),
+            b->statements[0].rows[0][0].AsInt64());
+  // The naive path reports no optimizer metrics.
+  EXPECT_EQ(a->metrics.candidates_generated, 0);
+}
+
+TEST_F(ApiTest, ErrorsPropagateAsStatus) {
+  EXPECT_FALSE(db_->Execute("select broken from nowhere").ok());
+  EXPECT_FALSE(db_->Execute("this is not sql").ok());
+  EXPECT_EQ(db_->Execute("select x from missing_table").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ApiTest, CreateTableAndQueryIt) {
+  Database db;
+  Schema s;
+  s.AddColumn("id", DataType::kInt64);
+  s.AddColumn("name", DataType::kString);
+  auto table = db.CreateTable("users", s);
+  ASSERT_TRUE(table.ok());
+  (*table)->AppendRow({Value::Int64(1), Value::String("ada")});
+  (*table)->AppendRow({Value::Int64(2), Value::String("grace")});
+  (*table)->ComputeStats();
+  auto result = db.Execute("select name from users where id = 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->statements[0].rows.size(), 1u);
+  EXPECT_EQ(result->statements[0].rows[0][0].AsString(), "grace");
+}
+
+TEST_F(ApiTest, FormatResultRendersAndTruncates) {
+  StatementResult r;
+  for (int i = 0; i < 30; ++i) {
+    r.rows.push_back({Value::Int64(i), Value::String("row")});
+  }
+  std::string text = Database::FormatResult(r, {"id", "tag"}, 5);
+  EXPECT_NE(text.find("id | tag"), std::string::npos);
+  EXPECT_NE(text.find("(30 rows total)"), std::string::npos);
+  std::string full = Database::FormatResult(r, {"id", "tag"}, 100);
+  EXPECT_NE(full.find("(30 rows)"), std::string::npos);
+}
+
+TEST_F(ApiTest, ExplainReturnsPlanText) {
+  auto result = db_->Execute(
+      "explain select c_nationkey, count(*) from customer, orders "
+      "where c_custkey = o_custkey group by c_nationkey");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->column_names.size(), 1u);
+  EXPECT_EQ(result->column_names[0][0], "plan");
+  // The plan rows mention the physical operators.
+  std::string all;
+  for (const Row& r : result->statements[0].rows) {
+    all += r[0].AsString() + "\n";
+  }
+  EXPECT_NE(all.find("HashAgg"), std::string::npos);
+  EXPECT_NE(all.find("customer"), std::string::npos);
+  // Execution did not happen.
+  EXPECT_EQ(result->execution.rows_scanned, 0);
+}
+
+TEST_F(ApiTest, ExplainBatchShowsSpools) {
+  auto result = db_->Execute(
+      "explain select c_nationkey, sum(o_totalprice) as a from customer, "
+      "orders where c_custkey = o_custkey group by c_nationkey; "
+      "select c_mktsegment, sum(o_totalprice) as b from customer, orders "
+      "where c_custkey = o_custkey group by c_mktsegment");
+  ASSERT_TRUE(result.ok());
+  std::string all;
+  for (const Row& r : result->statements[0].rows) {
+    all += r[0].AsString() + "\n";
+  }
+  EXPECT_NE(all.find("SpoolScan"), std::string::npos);
+  EXPECT_NE(all.find("CSE 0 (spool)"), std::string::npos);
+}
+
+TEST_F(ApiTest, ExecutionMetricsPopulated) {
+  auto result = db_->Execute(
+      "select c_nationkey, count(*) from customer, orders "
+      "where c_custkey = o_custkey group by c_nationkey");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->execution.rows_scanned, 0);
+  EXPECT_GE(result->execution.elapsed_seconds, 0);
+  EXPECT_GT(result->metrics.optimize_seconds, 0);
+}
+
+}  // namespace
+}  // namespace subshare

@@ -1,0 +1,162 @@
+// Cardinality-estimation and cost-model tests. The CSE heuristics (§4.3)
+// depend on consistent per-group estimates and on the C_E/C_W/C_R cost
+// split, so these invariants are load-bearing.
+#include <gtest/gtest.h>
+
+#include "optimizer/cost_model.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+namespace {
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+
+  // Estimated cardinality of the top (Project) group of a query.
+  double Estimate(const std::string& sql) {
+    QueryContext ctx(catalog_);
+    auto stmts = sql::BindSql(sql, &ctx);
+    EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+    Optimizer opt(&ctx);
+    opt.BuildAndExplore(*stmts);
+    return opt.cards().GroupCardinality(opt.statement_roots()[0]);
+  }
+
+  // Actual row count.
+  double Actual(const std::string& sql) {
+    QueryContext ctx(catalog_);
+    auto stmts = sql::BindSql(sql, &ctx);
+    EXPECT_TRUE(stmts.ok());
+    Optimizer opt(&ctx);
+    GroupId root = opt.BuildAndExplore(*stmts);
+    PhysicalNodePtr plan = opt.BestPlan(root, Bitset64());
+    EXPECT_NE(plan, nullptr);
+    auto results = ExecutePlan(opt.Assemble(plan, Bitset64()));
+    return static_cast<double>(results[0].rows.size());
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* CardinalityTest::catalog_ = nullptr;
+
+TEST_F(CardinalityTest, BaseTableScanExact) {
+  EXPECT_DOUBLE_EQ(Estimate("select n_nationkey from nation"), 25);
+  EXPECT_DOUBLE_EQ(Estimate("select r_regionkey from region"), 5);
+}
+
+TEST_F(CardinalityTest, EqualitySelectivityUsesNdv) {
+  // n_regionkey has 5 distinct values over 25 rows: = predicate -> 5 rows.
+  double est = Estimate("select n_name from nation where n_regionkey = 2");
+  EXPECT_NEAR(est, 5.0, 0.5);
+}
+
+TEST_F(CardinalityTest, RangeSelectivityInterpolates) {
+  double whole = Estimate("select o_orderkey from orders");
+  double half = Estimate(
+      "select o_orderkey from orders where o_orderdate < '1995-04-15'");
+  // The date domain is 1992-01-01 .. 1998-08-02; the midpoint cuts ~half.
+  EXPECT_GT(half, whole * 0.3);
+  EXPECT_LT(half, whole * 0.7);
+}
+
+TEST_F(CardinalityTest, KeyForeignKeyJoinPreservesChildCardinality) {
+  double est = Estimate(
+      "select o_orderkey from orders, customer where o_custkey = c_custkey");
+  double orders = Estimate("select o_orderkey from orders");
+  // PK-FK join: about one match per order.
+  EXPECT_NEAR(est / orders, 1.0, 0.35);
+}
+
+TEST_F(CardinalityTest, GroupByCappedByNdvProduct) {
+  double est = Estimate(
+      "select n_regionkey, count(*) from nation group by n_regionkey");
+  EXPECT_NEAR(est, 5.0, 0.5);
+  // Grouping by a key cannot exceed input cardinality.
+  double keyed = Estimate(
+      "select o_orderkey, count(*) from orders group by o_orderkey");
+  double orders = Estimate("select o_orderkey from orders");
+  EXPECT_LE(keyed, orders + 1);
+}
+
+TEST_F(CardinalityTest, EstimateWithinFactorOfActualOnJoins) {
+  const char* queries[] = {
+      "select count(*) from nation, region where n_regionkey = r_regionkey",
+      "select o_orderkey from orders, lineitem "
+      "where o_orderkey = l_orderkey and o_orderdate < '1994-01-01'",
+      "select c_nationkey, count(*) from customer, orders "
+      "where c_custkey = o_custkey group by c_nationkey",
+  };
+  for (const char* q : queries) {
+    double est = Estimate(q);
+    double actual = std::max(1.0, Actual(q));
+    EXPECT_LT(est / actual, 8.0) << q;
+    EXPECT_GT(est / actual, 1.0 / 8.0) << q;
+  }
+}
+
+TEST_F(CardinalityTest, EquivalentExpressionsShareOneEstimate) {
+  // All expressions in a group get the group's single estimate — the
+  // property the §4.3 heuristics rely on.
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select c_nationkey, sum(l_quantity) from customer, orders, lineitem "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "group by c_nationkey",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  opt.BuildAndExplore(*stmts);
+  for (GroupId g = 0; g < opt.memo().num_groups(); ++g) {
+    double first = opt.cards().GroupCardinality(g);
+    double second = opt.cards().GroupCardinality(g);
+    EXPECT_EQ(first, second);
+    EXPECT_GE(first, 1.0);
+  }
+}
+
+// ---- cost model unit checks ----
+
+TEST(CostModelTest, SpoolCostsScaleWithRowsAndWidth) {
+  EXPECT_GT(CostModel::SpoolWriteCost(1000, 64),
+            CostModel::SpoolWriteCost(500, 64));
+  EXPECT_GT(CostModel::SpoolWriteCost(1000, 64),
+            CostModel::SpoolWriteCost(1000, 8));
+  // Writing costs more than reading (paper: C_W vs C_R).
+  EXPECT_GT(CostModel::SpoolWriteCost(1000, 64),
+            CostModel::SpoolReadCost(1000, 64));
+}
+
+TEST(CostModelTest, IndexScanBeatsFullScanWhenSelective) {
+  double full = CostModel::TableScan(100000, 100);
+  double selective = CostModel::IndexScan(100, 100);
+  EXPECT_LT(selective, full);
+  // ... but not when unselective.
+  double unselective = CostModel::IndexScan(100000, 100);
+  EXPECT_GT(unselective, full);
+}
+
+TEST(CostModelTest, SortSuperlinear) {
+  double s1 = CostModel::Sort(1000);
+  double s2 = CostModel::Sort(2000);
+  EXPECT_GT(s2, 2 * s1 * 0.99);
+}
+
+TEST(CostModelTest, HashJoinPrefersSmallBuild) {
+  double small_build = CostModel::HashJoin(100, 64, 100000, 1000);
+  double big_build = CostModel::HashJoin(100000, 64, 100, 1000);
+  EXPECT_LT(small_build, big_build);
+}
+
+}  // namespace
+}  // namespace subshare

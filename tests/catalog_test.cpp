@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace subshare {
+namespace {
+
+Schema OneCol() {
+  Schema s;
+  s.AddColumn("x", DataType::kInt64);
+  return s;
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog cat;
+  auto t = cat.CreateTable("foo", OneCol());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "foo");
+  EXPECT_EQ(cat.GetTable("foo"), *t);
+  EXPECT_EQ(cat.GetTable((*t)->id()), *t);
+  EXPECT_EQ(cat.GetTable("bar"), nullptr);
+  EXPECT_EQ(cat.GetTable(99), nullptr);
+}
+
+TEST(CatalogTest, DuplicateNameFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("foo", OneCol()).ok());
+  auto dup = cat.CreateTable("foo", OneCol());
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DeltaTables) {
+  Catalog cat;
+  auto base = cat.CreateTable("customer", OneCol());
+  ASSERT_TRUE(base.ok());
+  auto delta = cat.CreateDeltaTable("customer");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ((*delta)->name(), "@delta_customer");
+  TableId base_id = -1;
+  EXPECT_TRUE(cat.IsDeltaTable((*delta)->id(), &base_id));
+  EXPECT_EQ(base_id, (*base)->id());
+  EXPECT_FALSE(cat.IsDeltaTable((*base)->id()));
+
+  // Re-creating the delta clears and reuses it.
+  (*delta)->AppendRow({Value::Int64(1)});
+  auto delta2 = cat.CreateDeltaTable("customer");
+  ASSERT_TRUE(delta2.ok());
+  EXPECT_EQ(*delta2, *delta);
+  EXPECT_EQ((*delta2)->row_count(), 0);
+}
+
+TEST(CatalogTest, DeltaOfMissingTableFails) {
+  Catalog cat;
+  EXPECT_FALSE(cat.CreateDeltaTable("nope").ok());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("foo", OneCol()).ok());
+  EXPECT_TRUE(cat.DropTable("foo").ok());
+  EXPECT_EQ(cat.GetTable("foo"), nullptr);
+  EXPECT_FALSE(cat.DropTable("foo").ok());
+  // Name can be reused after drop.
+  EXPECT_TRUE(cat.CreateTable("foo", OneCol()).ok());
+}
+
+}  // namespace
+}  // namespace subshare

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/executor.h"
+#include "exec/naive_planner.h"
+#include "logical/query.h"
+
+namespace subshare {
+namespace {
+
+// Fixture with two tiny joinable tables:
+//   emp(id, dept_id, salary), dept(id, budget)
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema emp_schema;
+    emp_schema.AddColumn("id", DataType::kInt64);
+    emp_schema.AddColumn("dept_id", DataType::kInt64);
+    emp_schema.AddColumn("salary", DataType::kDouble);
+    emp_ = *catalog_.CreateTable("emp", emp_schema);
+    emp_->AppendRow({Value::Int64(1), Value::Int64(10), Value::Double(100)});
+    emp_->AppendRow({Value::Int64(2), Value::Int64(10), Value::Double(200)});
+    emp_->AppendRow({Value::Int64(3), Value::Int64(20), Value::Double(300)});
+    emp_->AppendRow({Value::Int64(4), Value::Int64(30), Value::Double(400)});
+    emp_->ComputeStats();
+
+    Schema dept_schema;
+    dept_schema.AddColumn("id", DataType::kInt64);
+    dept_schema.AddColumn("budget", DataType::kInt64);
+    dept_ = *catalog_.CreateTable("dept", dept_schema);
+    dept_->AppendRow({Value::Int64(10), Value::Int64(1000)});
+    dept_->AppendRow({Value::Int64(20), Value::Int64(2000)});
+    dept_->AppendRow({Value::Int64(40), Value::Int64(4000)});
+    dept_->ComputeStats();
+
+    ctx_ = std::make_unique<QueryContext>(&catalog_);
+    emp_rel_ = ctx_->AddRelation(*emp_, "e");
+    dept_rel_ = ctx_->AddRelation(*dept_, "d");
+  }
+
+  ColId EmpCol(int i) { return ctx_->columns().RelationColumn(emp_rel_, i); }
+  ColId DeptCol(int i) { return ctx_->columns().RelationColumn(dept_rel_, i); }
+
+  ExprPtr ColE(ColId c, DataType t = DataType::kInt64) {
+    return Expr::Column(c, t);
+  }
+
+  std::vector<Row> Run(LogicalTreePtr root) {
+    Statement stmt;
+    stmt.root = std::move(root);
+    std::vector<Statement> stmts;
+    stmts.push_back(std::move(stmt));
+    ExecutablePlan plan = NaivePlanBatch(stmts, ctx_.get());
+    auto results = ExecutePlan(plan);
+    return results[0].rows;
+  }
+
+  Catalog catalog_;
+  Table* emp_ = nullptr;
+  Table* dept_ = nullptr;
+  std::unique_ptr<QueryContext> ctx_;
+  int emp_rel_ = -1;
+  int dept_rel_ = -1;
+};
+
+TEST_F(ExecTest, ScanWithFilter) {
+  // SELECT id FROM emp WHERE salary > 150
+  auto get = MakeTree(LogicalOp::Get(
+      emp_rel_, emp_->id(),
+      {Expr::Compare(CmpOp::kGt, ColE(EmpCol(2), DataType::kDouble),
+                     Expr::Literal(Value::Double(150)))}));
+  ColId out = ctx_->columns().AddSynthetic("id", DataType::kInt64);
+  auto proj = MakeTree(LogicalOp::Project({{ColE(EmpCol(0)), out}}));
+  proj->AddChild(std::move(get));
+  auto rows = Run(std::move(proj));
+  ASSERT_EQ(rows.size(), 3u);
+  std::vector<int64_t> ids;
+  for (const Row& r : rows) ids.push_back(r[0].AsInt64());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{2, 3, 4}));
+}
+
+TEST_F(ExecTest, HashJoinViaJoinSet) {
+  // SELECT e.id, d.budget FROM emp e, dept d WHERE e.dept_id = d.id
+  auto joinset = MakeTree(LogicalOp::JoinSet(
+      {Expr::Compare(CmpOp::kEq, ColE(EmpCol(1)), ColE(DeptCol(0)))}));
+  joinset->AddChild(MakeTree(LogicalOp::Get(emp_rel_, emp_->id(), {})));
+  joinset->AddChild(MakeTree(LogicalOp::Get(dept_rel_, dept_->id(), {})));
+  ColId out_id = ctx_->columns().AddSynthetic("id", DataType::kInt64);
+  ColId out_b = ctx_->columns().AddSynthetic("budget", DataType::kInt64);
+  auto proj = MakeTree(LogicalOp::Project(
+      {{ColE(EmpCol(0)), out_id}, {ColE(DeptCol(1)), out_b}}));
+  proj->AddChild(std::move(joinset));
+  auto rows = Run(std::move(proj));
+  ASSERT_EQ(rows.size(), 3u);  // emp 4 has no dept 30; dept 40 has no emp
+  std::vector<std::pair<int64_t, int64_t>> got;
+  for (const Row& r : rows) got.emplace_back(r[0].AsInt64(), r[1].AsInt64());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::pair<int64_t, int64_t>>{
+                     {1, 1000}, {2, 1000}, {3, 2000}}));
+}
+
+TEST_F(ExecTest, GroupByWithAggregates) {
+  // SELECT dept_id, sum(salary), count(*), min(salary) FROM emp GROUP BY 1
+  ColId sum_out = ctx_->columns().AddSynthetic("s", DataType::kDouble);
+  ColId cnt_out = ctx_->columns().AddSynthetic("c", DataType::kInt64);
+  ColId min_out = ctx_->columns().AddSynthetic("m", DataType::kDouble);
+  std::vector<AggregateItem> aggs = {
+      {AggFn::kSum, ColE(EmpCol(2), DataType::kDouble), sum_out},
+      {AggFn::kCount, nullptr, cnt_out},
+      {AggFn::kMin, ColE(EmpCol(2), DataType::kDouble), min_out}};
+  auto gb = MakeTree(LogicalOp::GroupBy({EmpCol(1)}, aggs));
+  gb->AddChild(MakeTree(LogicalOp::Get(emp_rel_, emp_->id(), {})));
+  ColId g_out = ctx_->columns().AddSynthetic("dept", DataType::kInt64);
+  auto proj = MakeTree(LogicalOp::Project({{ColE(EmpCol(1)), g_out},
+                                           {ColE(sum_out, DataType::kDouble), sum_out},
+                                           {ColE(cnt_out), cnt_out},
+                                           {ColE(min_out, DataType::kDouble), min_out}}));
+  proj->AddChild(std::move(gb));
+  auto rows = Run(std::move(proj));
+  ASSERT_EQ(rows.size(), 3u);
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a[0] < b[0]; });
+  EXPECT_EQ(rows[0][0].AsInt64(), 10);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 300);
+  EXPECT_EQ(rows[0][2].AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(rows[0][3].AsDouble(), 100);
+  EXPECT_EQ(rows[2][0].AsInt64(), 30);
+  EXPECT_DOUBLE_EQ(rows[2][1].AsDouble(), 400);
+}
+
+TEST_F(ExecTest, ScalarAggregateOverEmptyInput) {
+  // SELECT count(*), sum(salary) FROM emp WHERE salary > 1e9
+  ColId cnt_out = ctx_->columns().AddSynthetic("c", DataType::kInt64);
+  ColId sum_out = ctx_->columns().AddSynthetic("s", DataType::kDouble);
+  auto get = MakeTree(LogicalOp::Get(
+      emp_rel_, emp_->id(),
+      {Expr::Compare(CmpOp::kGt, ColE(EmpCol(2), DataType::kDouble),
+                     Expr::Literal(Value::Double(1e9)))}));
+  auto gb = MakeTree(LogicalOp::GroupBy(
+      {}, {{AggFn::kCount, nullptr, cnt_out},
+           {AggFn::kSum, ColE(EmpCol(2), DataType::kDouble), sum_out}}));
+  gb->AddChild(std::move(get));
+  auto proj = MakeTree(LogicalOp::Project(
+      {{ColE(cnt_out), cnt_out}, {ColE(sum_out, DataType::kDouble), sum_out}}));
+  proj->AddChild(std::move(gb));
+  auto rows = Run(std::move(proj));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 0);
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(ExecTest, CrossJoinViaBinaryJoin) {
+  // Cartesian product via kJoin with no conjuncts: 4 x 3 = 12 rows.
+  auto join = MakeTree(LogicalOp::Join({}));
+  join->AddChild(MakeTree(LogicalOp::Get(emp_rel_, emp_->id(), {})));
+  join->AddChild(MakeTree(LogicalOp::Get(dept_rel_, dept_->id(), {})));
+  ColId out = ctx_->columns().AddSynthetic("id", DataType::kInt64);
+  auto proj = MakeTree(LogicalOp::Project({{ColE(EmpCol(0)), out}}));
+  proj->AddChild(std::move(join));
+  EXPECT_EQ(Run(std::move(proj)).size(), 12u);
+}
+
+TEST_F(ExecTest, SortAndFilter) {
+  // SELECT id FROM emp WHERE dept_id <> 30 ORDER BY salary DESC
+  auto get = MakeTree(LogicalOp::Get(
+      emp_rel_, emp_->id(),
+      {Expr::Compare(CmpOp::kNe, ColE(EmpCol(1)),
+                     Expr::Literal(Value::Int64(30)))}));
+  ColId out = ctx_->columns().AddSynthetic("id", DataType::kInt64);
+  ColId sal = ctx_->columns().AddSynthetic("sal", DataType::kDouble);
+  auto proj = MakeTree(LogicalOp::Project(
+      {{ColE(EmpCol(0)), out}, {ColE(EmpCol(2), DataType::kDouble), sal}}));
+  proj->AddChild(std::move(get));
+  auto sort = MakeTree(LogicalOp::Sort({{sal, /*descending=*/true}}));
+  sort->AddChild(std::move(proj));
+  auto rows = Run(std::move(sort));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 3);
+  EXPECT_EQ(rows[1][0].AsInt64(), 2);
+  EXPECT_EQ(rows[2][0].AsInt64(), 1);
+}
+
+TEST_F(ExecTest, SpoolScanReadsWorkTable) {
+  // Build an ExecutablePlan with one CSE plan (emp scan) and one statement
+  // reading it through a SpoolScan with a filter.
+  ExecutablePlan plan;
+  ExecutablePlan::CsePlan cse;
+  cse.cse_id = 7;
+  auto scan = MakePhysical(PhysOpKind::kTableScan);
+  scan->table = emp_;
+  scan->rel_id = emp_rel_;
+  scan->input_cols = ctx_->columns().RelationColumns(emp_rel_);
+  scan->output = Layout(scan->input_cols);
+  cse.plan = scan;
+  cse.output = scan->input_cols;
+  Schema spool_schema;
+  spool_schema.AddColumn("id", DataType::kInt64);
+  spool_schema.AddColumn("dept_id", DataType::kInt64);
+  spool_schema.AddColumn("salary", DataType::kDouble);
+  cse.spool_schema = spool_schema;
+  plan.cse_plans.push_back(cse);
+
+  auto spool_scan = MakePhysical(PhysOpKind::kSpoolScan);
+  spool_scan->cse_id = 7;
+  spool_scan->input_cols = cse.output;
+  spool_scan->output = Layout({cse.output[0]});
+  spool_scan->filter =
+      Expr::Compare(CmpOp::kGe, ColE(cse.output[2], DataType::kDouble),
+                    Expr::Literal(Value::Double(300)));
+  plan.root = MakePhysical(PhysOpKind::kBatch);
+  plan.root->children.push_back(spool_scan);
+
+  ExecutionMetrics metrics;
+  auto results = ExecutePlan(plan, &metrics);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].rows.size(), 2u);
+  EXPECT_EQ(metrics.rows_spooled, 4);
+  // 4 rows scanned from emp + 4 rows read from the work table.
+  EXPECT_EQ(metrics.rows_scanned, 8);
+}
+
+TEST_F(ExecTest, IndexScanRange) {
+  emp_->CreateIndex(2);  // salary
+  auto node = MakePhysical(PhysOpKind::kIndexScan);
+  node->table = emp_;
+  node->rel_id = emp_rel_;
+  node->input_cols = ctx_->columns().RelationColumns(emp_rel_);
+  node->output = Layout({EmpCol(0)});
+  node->index_range.column_idx = 2;
+  node->index_range.lo = Value::Double(150);
+  node->index_range.lo_inclusive = false;
+  node->index_range.hi = Value::Double(300);
+  node->index_range.hi_inclusive = true;
+  ExecContext ctx;
+  auto rows = RunToVector(*node, &ctx);
+  ASSERT_EQ(rows.size(), 2u);  // salaries 200, 300
+}
+
+}  // namespace
+}  // namespace subshare

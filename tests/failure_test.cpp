@@ -1,0 +1,55 @@
+// Failure injection: invariant violations must fail fast and loudly
+// (CHECK aborts), and user-level failures must come back as Status.
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace subshare {
+namespace {
+
+using FailureDeathTest = ::testing::Test;
+
+TEST(FailureDeathTest, BindingMissingColumnAborts) {
+  Layout layout({1, 2});
+  ExprPtr e = Expr::Column(99, DataType::kInt64);
+  EXPECT_DEATH(BindExpr(e, layout), "missing from layout");
+}
+
+TEST(FailureDeathTest, SpoolScanWithoutMaterializationAborts) {
+  // A SpoolScan for a CSE that was never materialized: executor invariant.
+  auto scan = MakePhysical(PhysOpKind::kSpoolScan);
+  scan->cse_id = 42;
+  scan->input_cols = {1};
+  scan->output = Layout({1});
+  ExecutablePlan plan;
+  plan.root = MakePhysical(PhysOpKind::kBatch);
+  plan.root->children.push_back(scan);
+  EXPECT_DEATH(ExecutePlan(plan), "not materialized");
+}
+
+TEST(FailureDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> err = Status::NotFound("gone");
+  EXPECT_DEATH(err.value(), "NotFound");
+}
+
+TEST(FailureDeathTest, CheckMacroCarriesMessage) {
+  EXPECT_DEATH([] { CHECK(1 == 2) << "one is not two"; }(),
+               "one is not two");
+}
+
+// User-level failures surface as Status, never aborts.
+TEST(FailureStatusTest, UserErrorsAreStatuses) {
+  Database db;
+  ASSERT_TRUE(db.LoadTpch(0.002).ok());
+  EXPECT_FALSE(db.Execute("select").ok());
+  EXPECT_FALSE(db.Execute("select * from nope").ok());
+  EXPECT_FALSE(db.Execute("select n_name from nation where n_name > 1").ok());
+  EXPECT_FALSE(db.Execute("select x from nation group by").ok());
+  // The database remains usable after failed statements.
+  EXPECT_TRUE(db.Execute("select count(*) from nation").ok());
+}
+
+}  // namespace
+}  // namespace subshare

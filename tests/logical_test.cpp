@@ -1,0 +1,112 @@
+// Logical-operator payload tests: fingerprint hashing/equality semantics
+// (what memo deduplication rests on) and plan rendering.
+#include <gtest/gtest.h>
+
+#include "logical/logical_op.h"
+
+namespace subshare {
+namespace {
+
+ExprPtr Col(ColId c) { return Expr::Column(c, DataType::kInt64); }
+ExprPtr Lit(int64_t v) { return Expr::Literal(Value::Int64(v)); }
+ExprPtr Eq(ColId a, ColId b) { return Expr::Compare(CmpOp::kEq, Col(a), Col(b)); }
+
+TEST(LogicalOpTest, GetEqualityDependsOnRelAndConjuncts) {
+  LogicalOp a = LogicalOp::Get(1, 10, {Eq(1, 2)});
+  LogicalOp b = LogicalOp::Get(1, 10, {Eq(1, 2)});
+  LogicalOp c = LogicalOp::Get(2, 10, {Eq(1, 2)});
+  LogicalOp d = LogicalOp::Get(1, 10, {});
+  EXPECT_TRUE(a.PayloadEquals(b));
+  EXPECT_EQ(a.PayloadHash(), b.PayloadHash());
+  EXPECT_FALSE(a.PayloadEquals(c));
+  EXPECT_FALSE(a.PayloadEquals(d));
+}
+
+TEST(LogicalOpTest, ConjunctOrderInsensitive) {
+  ExprPtr p1 = Expr::Compare(CmpOp::kGt, Col(1), Lit(5));
+  ExprPtr p2 = Expr::Compare(CmpOp::kLt, Col(2), Lit(9));
+  LogicalOp a = LogicalOp::JoinSet({p1, p2});
+  LogicalOp b = LogicalOp::JoinSet({p2, p1});
+  EXPECT_TRUE(a.PayloadEquals(b));
+  EXPECT_EQ(a.PayloadHash(), b.PayloadHash());
+  // Different multiplicity is different.
+  LogicalOp c = LogicalOp::JoinSet({p1, p1});
+  EXPECT_FALSE(a.PayloadEquals(c));
+}
+
+TEST(LogicalOpTest, GroupByEqualityCoversColsAggsOutputs) {
+  AggregateItem sum1{AggFn::kSum, Col(3), 100};
+  AggregateItem sum2{AggFn::kSum, Col(3), 101};  // different output id
+  AggregateItem min1{AggFn::kMin, Col(3), 100};
+  LogicalOp a = LogicalOp::GroupBy({1, 2}, {sum1});
+  LogicalOp b = LogicalOp::GroupBy({1, 2}, {sum1});
+  EXPECT_TRUE(a.PayloadEquals(b));
+  EXPECT_FALSE(a.PayloadEquals(LogicalOp::GroupBy({1}, {sum1})));
+  EXPECT_FALSE(a.PayloadEquals(LogicalOp::GroupBy({1, 2}, {sum2})));
+  EXPECT_FALSE(a.PayloadEquals(LogicalOp::GroupBy({1, 2}, {min1})));
+}
+
+TEST(LogicalOpTest, SortEqualityIncludesLimitAndDirection) {
+  LogicalOp a = LogicalOp::Sort({{5, false}}, 10);
+  EXPECT_TRUE(a.PayloadEquals(LogicalOp::Sort({{5, false}}, 10)));
+  EXPECT_FALSE(a.PayloadEquals(LogicalOp::Sort({{5, true}}, 10)));
+  EXPECT_FALSE(a.PayloadEquals(LogicalOp::Sort({{5, false}}, 20)));
+  EXPECT_FALSE(a.PayloadEquals(LogicalOp::Sort({{5, false}})));
+}
+
+TEST(LogicalOpTest, DifferentKindsNeverEqual) {
+  EXPECT_FALSE(LogicalOp::JoinSet({}).PayloadEquals(LogicalOp::Join({})));
+  EXPECT_FALSE(LogicalOp::Batch().PayloadEquals(LogicalOp::Filter({})));
+  EXPECT_FALSE(
+      LogicalOp::CseRef(1, {1, 2}).PayloadEquals(LogicalOp::CseRef(2, {1, 2})));
+  EXPECT_FALSE(
+      LogicalOp::CseRef(1, {1, 2}).PayloadEquals(LogicalOp::CseRef(1, {1})));
+}
+
+TEST(LogicalOpTest, ToStringRendersPayload) {
+  LogicalOp get = LogicalOp::Get(3, 7, {Expr::Compare(CmpOp::kGt, Col(1),
+                                                      Lit(5))});
+  std::string s = get.ToString();
+  EXPECT_NE(s.find("Get(rel=3)"), std::string::npos);
+  EXPECT_NE(s.find("c1 > 5"), std::string::npos);
+
+  LogicalOp gb = LogicalOp::GroupBy({1}, {{AggFn::kSum, Col(2), 100}});
+  std::string g = gb.ToString();
+  EXPECT_NE(g.find("GroupBy"), std::string::npos);
+  EXPECT_NE(g.find("sum(c2)"), std::string::npos);
+
+  LogicalOp count_star = LogicalOp::GroupBy({}, {{AggFn::kCount, nullptr, 5}});
+  EXPECT_NE(count_star.ToString().find("count(*)"), std::string::npos);
+}
+
+TEST(LogicalTreeTest, RendersIndentedTree) {
+  auto joinset = MakeTree(LogicalOp::JoinSet({Eq(1, 2)}));
+  joinset->AddChild(MakeTree(LogicalOp::Get(0, 0, {})));
+  joinset->AddChild(MakeTree(LogicalOp::Get(1, 1, {})));
+  auto gb = MakeTree(LogicalOp::GroupBy({1}, {}));
+  gb->AddChild(std::move(joinset));
+  std::string rendered = gb->ToString();
+  // Parent first, children indented.
+  size_t gb_pos = rendered.find("GroupBy");
+  size_t js_pos = rendered.find("JoinSet");
+  size_t get_pos = rendered.find("Get");
+  EXPECT_LT(gb_pos, js_pos);
+  EXPECT_LT(js_pos, get_pos);
+  EXPECT_NE(rendered.find("  JoinSet"), std::string::npos);
+  EXPECT_NE(rendered.find("    Get"), std::string::npos);
+}
+
+TEST(LogicalOpTest, KindNamesComplete) {
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kGet), "Get");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kJoinSet), "JoinSet");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kJoin), "Join");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kGroupBy), "GroupBy");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kFilter), "Filter");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kProject), "Project");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kSort), "Sort");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kBatch), "Batch");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kCseRef), "CseRef");
+}
+
+}  // namespace
+}  // namespace subshare

@@ -1,0 +1,202 @@
+// Memo structure tests: insertion/deduplication, group outputs, creation
+// ancestry & LCA, DAG descendants, required-column propagation, and the
+// per-group relevant-candidate masks.
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+namespace {
+
+class MemoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+  static Catalog* catalog_;
+};
+
+Catalog* MemoTest::catalog_ = nullptr;
+
+TEST_F(MemoTest, InsertDeduplicatesEqualExpressions) {
+  QueryContext ctx(catalog_);
+  Memo memo(&ctx);
+  const Table* nation = catalog_->GetTable("nation");
+  int rel = ctx.AddRelation(*nation, "n");
+
+  bool inserted = false;
+  GroupId g1 = memo.InsertExpr(LogicalOp::Get(rel, nation->id(), {}), {},
+                               kInvalidGroup, kInvalidGroup, &inserted);
+  EXPECT_TRUE(inserted);
+  GroupId g2 = memo.InsertExpr(LogicalOp::Get(rel, nation->id(), {}), {},
+                               kInvalidGroup, kInvalidGroup, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(memo.group(g1).exprs.size(), 1u);
+
+  // A different relation instance makes a different group.
+  int rel2 = ctx.AddRelation(*nation, "n2");
+  GroupId g3 = memo.InsertExpr(LogicalOp::Get(rel2, nation->id(), {}), {});
+  EXPECT_NE(g3, g1);
+}
+
+TEST_F(MemoTest, JoinSetChildrenAreOrderInsensitive) {
+  QueryContext ctx(catalog_);
+  Memo memo(&ctx);
+  const Table* nation = catalog_->GetTable("nation");
+  const Table* region = catalog_->GetTable("region");
+  int n_rel = ctx.AddRelation(*nation, "n");
+  int r_rel = ctx.AddRelation(*region, "r");
+  GroupId gn = memo.InsertExpr(LogicalOp::Get(n_rel, nation->id(), {}), {});
+  GroupId gr = memo.InsertExpr(LogicalOp::Get(r_rel, region->id(), {}), {});
+
+  GroupId a = memo.InsertExpr(LogicalOp::JoinSet({}), {gn, gr});
+  GroupId b = memo.InsertExpr(LogicalOp::JoinSet({}), {gr, gn});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(MemoTest, GroupOutputsPerOperator) {
+  QueryContext ctx(catalog_);
+  Memo memo(&ctx);
+  const Table* nation = catalog_->GetTable("nation");
+  int rel = ctx.AddRelation(*nation, "n");
+  GroupId get = memo.InsertExpr(LogicalOp::Get(rel, nation->id(), {}), {});
+  EXPECT_EQ(memo.group(get).output.size(), 4u);  // all nation columns
+
+  ColId key = ctx.columns().RelationColumn(rel, 0);
+  ColId agg_out = ctx.columns().AddSynthetic("cnt", DataType::kInt64);
+  GroupId gb = memo.InsertExpr(
+      LogicalOp::GroupBy({key}, {{AggFn::kCount, nullptr, agg_out}}), {get});
+  EXPECT_EQ(memo.group(gb).output, (std::vector<ColId>{key, agg_out}));
+
+  ColId proj_out = ctx.columns().AddSynthetic("k2", DataType::kInt64);
+  GroupId proj = memo.InsertExpr(
+      LogicalOp::Project({{Expr::Column(key, DataType::kInt64), proj_out}}),
+      {gb});
+  EXPECT_EQ(memo.group(proj).output, (std::vector<ColId>{proj_out}));
+}
+
+TEST_F(MemoTest, CreationAncestryAndLca) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select count(*) from nation, region "
+      "where n_regionkey = r_regionkey; "
+      "select count(*) from customer",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  GroupId root = opt.BuildAndExplore(*stmts);
+  Memo& memo = opt.memo();
+
+  // Every group's ancestor chain terminates (no cycles), and statement
+  // groups chain up to the root.
+  for (GroupId g = 0; g < memo.num_groups(); ++g) {
+    std::vector<GroupId> chain = memo.AncestorChain(g);
+    EXPECT_LE(chain.size(), static_cast<size_t>(memo.num_groups()));
+  }
+  for (GroupId s : opt.statement_roots()) {
+    std::vector<GroupId> chain = memo.AncestorChain(s);
+    EXPECT_EQ(chain.back(), root);
+  }
+
+  // LCA of the two statement roots is the batch root.
+  EXPECT_EQ(memo.LowestCommonAncestor(opt.statement_roots(), root), root);
+  // LCA of a single group is itself.
+  GroupId s0 = opt.statement_roots()[0];
+  EXPECT_EQ(memo.LowestCommonAncestor({s0}, root), s0);
+  // LCA of a group with the root is the root.
+  EXPECT_EQ(memo.LowestCommonAncestor({s0, root}, root), root);
+}
+
+TEST_F(MemoTest, DescendantGroupFollowsExprEdges) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select c_nationkey, count(*) from customer, orders "
+      "where c_custkey = o_custkey group by c_nationkey",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  GroupId root = opt.BuildAndExplore(*stmts);
+  Memo& memo = opt.memo();
+
+  // Every group is a descendant of the root; the root is a descendant of
+  // nothing but itself.
+  for (GroupId g = 0; g < memo.num_groups(); ++g) {
+    EXPECT_TRUE(IsDescendantGroup(memo, g, root)) << "G" << g;
+  }
+  GroupId stmt = opt.statement_roots()[0];
+  EXPECT_FALSE(IsDescendantGroup(memo, root, stmt));
+  EXPECT_TRUE(IsDescendantGroup(memo, stmt, stmt));
+}
+
+TEST_F(MemoTest, RequiredColumnsIncludeJoinKeysAndAggInputs) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey group by c_nationkey",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  opt.BuildAndExplore(*stmts);
+  Memo& memo = opt.memo();
+
+  // Find the customer Get group: it must require c_custkey (join key) and
+  // c_nationkey (grouping) but NOT c_name / c_address / ...
+  for (GroupId g = 0; g < memo.num_groups(); ++g) {
+    const GroupExpr& e = memo.group(g).exprs[0];
+    if (e.op.kind != LogicalOpKind::kGet) continue;
+    const Table* t = catalog_->GetTable(e.op.table_id);
+    if (t->name() != "customer") continue;
+    ColId custkey = ctx.columns().RelationColumn(e.op.rel_id, 0);
+    ColId name = ctx.columns().RelationColumn(e.op.rel_id, 1);
+    ColId nationkey = ctx.columns().RelationColumn(e.op.rel_id, 3);
+    EXPECT_TRUE(memo.group(g).required.count(custkey));
+    EXPECT_TRUE(memo.group(g).required.count(nationkey));
+    EXPECT_FALSE(memo.group(g).required.count(name));
+    return;
+  }
+  FAIL() << "customer Get group not found";
+}
+
+TEST_F(MemoTest, PlanCacheReusesAcrossEnabledSetsWhenIrrelevant) {
+  // §5.4 history reuse: optimizing with a candidate set that is irrelevant
+  // to a group must not re-optimize it. We approximate by checking the
+  // plan-computation counter across repeated BestPlan calls.
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select count(*) from customer, orders where c_custkey = o_custkey",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  GroupId root = opt.BuildAndExplore(*stmts);
+  ASSERT_NE(opt.BestPlan(root, Bitset64()), nullptr);
+  int64_t after_first = opt.plan_computations();
+  // Re-request: fully cached, no new computations.
+  ASSERT_NE(opt.BestPlan(root, Bitset64()), nullptr);
+  EXPECT_EQ(opt.plan_computations(), after_first);
+  // An enabled set with no registered candidates is masked to the same
+  // context: still fully cached.
+  ASSERT_NE(opt.BestPlan(root, Bitset64(0b101)), nullptr);
+  EXPECT_EQ(opt.plan_computations(), after_first);
+}
+
+TEST_F(MemoTest, ToStringRendersGroups) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql("select r_name from region", &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  opt.BuildAndExplore(*stmts);
+  std::string rendered = opt.memo().ToString();
+  EXPECT_NE(rendered.find("Get"), std::string::npos);
+  EXPECT_NE(rendered.find("Project"), std::string::npos);
+  EXPECT_NE(rendered.find("Batch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subshare

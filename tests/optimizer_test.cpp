@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/executor.h"
+#include "exec/naive_planner.h"
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+namespace {
+
+// Normalizes a result set for order-insensitive comparison.
+std::vector<std::string> Canon(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) {
+      if (v.type() == DataType::kDouble && !v.is_null()) {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%.4f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+
+  // Optimizes (without CSE candidates) and executes.
+  std::vector<StatementResult> Optimized(const std::string& sql,
+                                         QueryContext* ctx,
+                                         Optimizer** out_opt = nullptr) {
+    auto stmts = sql::BindSql(sql, ctx);
+    EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+    auto opt = std::make_unique<Optimizer>(ctx);
+    GroupId root = opt->BuildAndExplore(*stmts);
+    PhysicalNodePtr best = opt->BestPlan(root, Bitset64());
+    EXPECT_NE(best, nullptr);
+    ExecutablePlan plan = opt->Assemble(best, Bitset64());
+    auto results = ExecutePlan(plan);
+    if (out_opt != nullptr) {
+      *out_opt = opt.get();
+      kept_.push_back(std::move(opt));
+    }
+    return results;
+  }
+
+  std::vector<StatementResult> Naive(const std::string& sql,
+                                     QueryContext* ctx) {
+    auto stmts = sql::BindSql(sql, ctx);
+    EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+    return ExecutePlan(NaivePlanBatch(*stmts, ctx));
+  }
+
+  // Central correctness property: optimizer output == reference output.
+  void CheckAgainstNaive(const std::string& sql) {
+    QueryContext ctx1(catalog_), ctx2(catalog_);
+    auto opt_results = Optimized(sql, &ctx1);
+    auto naive_results = Naive(sql, &ctx2);
+    ASSERT_EQ(opt_results.size(), naive_results.size());
+    for (size_t i = 0; i < opt_results.size(); ++i) {
+      EXPECT_EQ(Canon(opt_results[i].rows), Canon(naive_results[i].rows))
+          << "statement " << i << " of: " << sql;
+    }
+  }
+
+  static Catalog* catalog_;
+  std::vector<std::unique_ptr<Optimizer>> kept_;
+};
+
+Catalog* OptimizerTest::catalog_ = nullptr;
+
+TEST_F(OptimizerTest, SingleTableScan) {
+  CheckAgainstNaive("select n_name from nation where n_nationkey < 10");
+}
+
+TEST_F(OptimizerTest, TwoWayJoin) {
+  CheckAgainstNaive(
+      "select n_name, r_name from nation, region "
+      "where n_regionkey = r_regionkey and r_name <> 'ASIA'");
+}
+
+TEST_F(OptimizerTest, ThreeWayJoinWithAggregation) {
+  CheckAgainstNaive(
+      "select c_nationkey, sum(l_extendedprice) as le, sum(l_quantity) as lq "
+      "from customer, orders, lineitem "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "  and o_orderdate < '1996-07-01' "
+      "group by c_nationkey");
+}
+
+TEST_F(OptimizerTest, FourWayJoinGroupByNation) {
+  CheckAgainstNaive(
+      "select n_regionkey, sum(l_extendedprice) as le "
+      "from customer, orders, lineitem, nation "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "  and c_nationkey = n_nationkey and o_orderdate < '1996-07-01' "
+      "group by n_regionkey");
+}
+
+TEST_F(OptimizerTest, BatchOfThree) {
+  CheckAgainstNaive(
+      "select count(*) from orders where o_orderdate < '1995-01-01'; "
+      "select o_custkey, max(o_totalprice) from orders group by o_custkey; "
+      "select n_name from nation where n_regionkey = 2");
+}
+
+TEST_F(OptimizerTest, HavingWithScalarSubquery) {
+  CheckAgainstNaive(
+      "select c_nationkey, sum(l_discount) as totaldisc "
+      "from customer, orders, lineitem "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "group by c_nationkey "
+      "having sum(l_discount) > (select sum(l_discount) / 25 from lineitem) "
+      "order by totaldisc desc");
+}
+
+TEST_F(OptimizerTest, OrderByPreserved) {
+  QueryContext ctx(catalog_);
+  auto results = Optimized(
+      "select o_custkey, sum(o_totalprice) as t from orders "
+      "group by o_custkey order by t desc",
+      &ctx);
+  const auto& rows = results[0].rows;
+  ASSERT_GT(rows.size(), 2u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1][1].AsDouble(), rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(OptimizerTest, EagerAggregationPlansAreCorrect) {
+  // With eager group-by enabled (default), this query has pre-aggregated
+  // alternatives; whatever the optimizer picks must match the reference.
+  CheckAgainstNaive(
+      "select c_mktsegment, sum(l_quantity) as q "
+      "from customer, orders, lineitem "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "group by c_mktsegment");
+}
+
+TEST_F(OptimizerTest, ExplorationCreatesSubJoinGroups) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select c_nationkey, sum(l_quantity) from customer, orders, lineitem "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "group by c_nationkey",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  opt.BuildAndExplore(*stmts);
+  // Expect JoinSet groups for {C,O}, {O,L}, {C,O,L} (and binary Join
+  // expressions inside them). Count JoinSet groups by member count.
+  int joinsets2 = 0, joinsets3 = 0, joins = 0, partial_aggs = 0;
+  Memo& memo = opt.memo();
+  for (GroupId g = 0; g < memo.num_groups(); ++g) {
+    for (const GroupExpr& e : memo.group(g).exprs) {
+      if (e.op.kind == LogicalOpKind::kJoinSet) {
+        bool all_gets = true;
+        for (GroupId c : e.children) {
+          all_gets &= memo.group(c).exprs[0].op.kind == LogicalOpKind::kGet;
+        }
+        if (!all_gets) continue;  // eager-agg joinsets counted separately
+        if (e.children.size() == 2) ++joinsets2;
+        if (e.children.size() == 3) ++joinsets3;
+      }
+      if (e.op.kind == LogicalOpKind::kJoin) ++joins;
+    }
+    if (memo.group(g).is_partial_aggregate) ++partial_aggs;
+  }
+  // {C,O} and {O,L} are connected 2-subsets; {C,L} is not connected.
+  EXPECT_EQ(joinsets2, 2);
+  EXPECT_GE(joinsets3, 1);
+  EXPECT_GE(joins, 3);
+  // Eager group-by produced partial aggregates (e.g. pre-aggregation of
+  // O⨝L below the join with C).
+  EXPECT_GE(partial_aggs, 1);
+}
+
+TEST_F(OptimizerTest, CostBoundsRecordedDuringNormalPhase) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select n_name from nation, region where n_regionkey = r_regionkey",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  GroupId root = opt.BuildAndExplore(*stmts);
+  ASSERT_NE(opt.BestPlan(root, Bitset64()), nullptr);
+  const Group& root_group = opt.memo().group(root);
+  EXPECT_GT(root_group.best_cost, 0);
+  EXPECT_GE(root_group.upper_cost, root_group.best_cost);
+}
+
+TEST_F(OptimizerTest, IndexScanChosenForSelectivePredicate) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select o_custkey from orders where o_orderkey = 17", &ctx);
+  ASSERT_TRUE(stmts.ok());
+  Optimizer opt(&ctx);
+  GroupId root = opt.BuildAndExplore(*stmts);
+  PhysicalNodePtr best = opt.BestPlan(root, Bitset64());
+  ASSERT_NE(best, nullptr);
+  // Batch -> Project -> scan
+  const PhysicalNode* scan = best->children[0]->children[0].get();
+  EXPECT_EQ(scan->kind, PhysOpKind::kIndexScan);
+  // And it must execute correctly.
+  auto results = ExecutePlan(opt.Assemble(best, Bitset64()));
+  ASSERT_EQ(results[0].rows.size(), 1u);
+}
+
+TEST_F(OptimizerTest, JoinOrderAvoidsCartesianBlowup) {
+  // The optimizer should join nation x region before customer only through
+  // connected edges; verify it finishes quickly and correctly on a 4-way.
+  CheckAgainstNaive(
+      "select r_name, count(*) from customer, nation, region, orders "
+      "where c_nationkey = n_nationkey and n_regionkey = r_regionkey "
+      "  and o_custkey = c_custkey and o_orderdate < '1994-01-01' "
+      "group by r_name");
+}
+
+}  // namespace
+}  // namespace subshare

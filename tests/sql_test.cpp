@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/executor.h"
+#include "exec/naive_planner.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+namespace {
+
+using sql::AstExprKind;
+using sql::ParseBatch;
+using sql::ParseSelect;
+using sql::Token;
+using sql::TokenType;
+using sql::Tokenize;
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a.b, 42, 3.5, 'it''s' <= <> ; -- comment");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<Token>& t = *tokens;
+  EXPECT_EQ(t[0].type, TokenType::kIdent);
+  EXPECT_EQ(t[0].text, "select");  // keywords lower-cased
+  EXPECT_EQ(t[1].text, "a");
+  EXPECT_EQ(t[2].text, ".");
+  EXPECT_EQ(t[3].text, "b");
+  EXPECT_EQ(t[4].text, ",");
+  EXPECT_EQ(t[5].int_value, 42);
+  EXPECT_EQ(t[7].type, TokenType::kDouble);
+  EXPECT_DOUBLE_EQ(t[7].double_value, 3.5);
+  EXPECT_EQ(t[9].type, TokenType::kString);
+  EXPECT_EQ(t[9].text, "it's");
+  EXPECT_EQ(t[10].text, "<=");
+  EXPECT_EQ(t[11].text, "<>");
+  EXPECT_EQ(t[12].text, ";");
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("select 'oops").ok());
+  EXPECT_FALSE(Tokenize("select #").ok());
+}
+
+TEST(ParserTest, Example1Query1Shape) {
+  auto sel = ParseSelect(
+      "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le "
+      "from customer, orders, lineitem "
+      "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+      "  and o_orderdate < '1996-07-01' "
+      "group by c_nationkey, c_mktsegment");
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  EXPECT_EQ((*sel)->items.size(), 3u);
+  EXPECT_EQ((*sel)->items[2].alias, "le");
+  EXPECT_EQ((*sel)->from.size(), 3u);
+  EXPECT_EQ((*sel)->from[1].table, "orders");
+  ASSERT_NE((*sel)->where, nullptr);
+  EXPECT_EQ((*sel)->where->kind, AstExprKind::kAnd);
+  EXPECT_EQ((*sel)->group_by.size(), 2u);
+}
+
+TEST(ParserTest, SubqueryAndOrderBy) {
+  auto sel = ParseSelect(
+      "select c_nationkey, sum(l_discount) as totaldisc "
+      "from customer, orders, lineitem "
+      "where c_custkey = o_custkey "
+      "group by c_nationkey "
+      "having sum(l_discount) > (select sum(l_discount) / 25 from lineitem) "
+      "order by totaldisc desc");
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  ASSERT_NE((*sel)->having, nullptr);
+  EXPECT_EQ((*sel)->having->kind, AstExprKind::kComparison);
+  // The '/ 25' is inside the subquery's select item, so the RHS of the
+  // HAVING comparison is the subquery itself.
+  EXPECT_EQ((*sel)->having->children[1]->kind, AstExprKind::kSubquery);
+  ASSERT_NE((*sel)->having->children[1]->subquery, nullptr);
+  EXPECT_EQ((*sel)->having->children[1]->subquery->items[0].expr->kind,
+            AstExprKind::kArith);
+  ASSERT_EQ((*sel)->order_by.size(), 1u);
+  EXPECT_TRUE((*sel)->order_by[0].descending);
+}
+
+TEST(ParserTest, BatchAndStar) {
+  auto batch = ParseBatch(
+      "select * from customer; select count(*) from orders;");
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_TRUE((*batch)[0]->items[0].star);
+  EXPECT_TRUE((*batch)[1]->items[0].expr->count_star);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("selec x from t").ok());
+  EXPECT_FALSE(ParseSelect("select from t").ok());
+  EXPECT_FALSE(ParseSelect("select x t").ok());
+  EXPECT_FALSE(ParseSelect("select x from t where").ok());
+  EXPECT_FALSE(ParseSelect("select x from t group x").ok());
+  EXPECT_FALSE(ParseSelect("select x from t extra garbage").ok());
+  EXPECT_FALSE(ParseBatch("").ok());
+}
+
+// ---------------------------------------------------------------- binder ---
+
+class SqlBindTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+
+  // Binds and executes via the naive planner.
+  std::vector<Row> Run(const std::string& query) {
+    QueryContext ctx(catalog_);
+    auto stmts = sql::BindSql(query, &ctx);
+    EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+    ExecutablePlan plan = NaivePlanBatch(*stmts, &ctx);
+    return ExecutePlan(plan)[0].rows;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* SqlBindTest::catalog_ = nullptr;
+
+TEST_F(SqlBindTest, BindErrors) {
+  QueryContext ctx(catalog_);
+  EXPECT_FALSE(sql::BindSql("select x from no_such_table", &ctx).ok());
+  EXPECT_FALSE(sql::BindSql("select no_such_col from nation", &ctx).ok());
+  EXPECT_FALSE(
+      sql::BindSql("select n_name from nation where sum(n_nationkey) > 1",
+                   &ctx)
+          .ok());
+  // Non-grouped column in select list of an aggregate query.
+  EXPECT_FALSE(
+      sql::BindSql("select n_name, count(*) from nation group by n_regionkey",
+                   &ctx)
+          .ok());
+  // Type mismatch: string vs numeric.
+  EXPECT_FALSE(
+      sql::BindSql("select n_name from nation where n_name > 5", &ctx).ok());
+  // Correlated subqueries are rejected (column resolves nowhere).
+  EXPECT_FALSE(sql::BindSql("select n_nationkey from nation "
+                            "having count(*) > (select sum(r_regionkey) "
+                            "from region where r_regionkey = n_nationkey0)",
+                            &ctx)
+                   .ok());
+  // HAVING without aggregation.
+  EXPECT_FALSE(
+      sql::BindSql("select n_name from nation having n_name = 'x'", &ctx)
+          .ok());
+}
+
+TEST_F(SqlBindTest, PredicatePushdownShape) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select n_name from nation, region "
+      "where n_regionkey = r_regionkey and n_nationkey > 3 "
+      "  and r_name = 'ASIA'",
+      &ctx);
+  ASSERT_TRUE(stmts.ok());
+  const LogicalTree& root = *(*stmts)[0].root;
+  ASSERT_EQ(root.op.kind, LogicalOpKind::kProject);
+  const LogicalTree& joinset = *root.children[0];
+  ASSERT_EQ(joinset.op.kind, LogicalOpKind::kJoinSet);
+  EXPECT_EQ(joinset.op.conjuncts.size(), 1u);  // only the join predicate
+  ASSERT_EQ(joinset.children.size(), 2u);
+  EXPECT_EQ(joinset.children[0]->op.kind, LogicalOpKind::kGet);
+  EXPECT_EQ(joinset.children[0]->op.conjuncts.size(), 1u);  // n_nationkey>3
+  EXPECT_EQ(joinset.children[1]->op.conjuncts.size(), 1u);  // r_name='ASIA'
+}
+
+TEST_F(SqlBindTest, SimpleCountAndScan) {
+  auto rows = Run("select count(*) from nation");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 25);
+
+  EXPECT_EQ(Run("select * from region").size(), 5u);
+  EXPECT_EQ(Run("select r_name from region where r_regionkey >= 3").size(),
+            2u);
+}
+
+TEST_F(SqlBindTest, JoinMatchesManualComputation) {
+  // Count nation-region pairs per region name, computed two ways.
+  auto rows = Run(
+      "select r_name, count(*) as n from nation, region "
+      "where n_regionkey = r_regionkey group by r_name order by r_name");
+  const Table* nation = catalog_->GetTable("nation");
+  int n_regionkey = nation->schema().FindColumn("n_regionkey");
+  const Table* region = catalog_->GetTable("region");
+  std::map<std::string, int64_t> expected;
+  for (const Row& n : nation->rows()) {
+    for (const Row& r : region->rows()) {
+      if (n[n_regionkey].AsInt64() == r[0].AsInt64()) {
+        expected[r[1].AsString()]++;
+      }
+    }
+  }
+  ASSERT_EQ(rows.size(), expected.size());
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[1].AsInt64(), expected[row[0].AsString()])
+        << row[0].AsString();
+  }
+}
+
+TEST_F(SqlBindTest, DateCoercionFiltersOrders) {
+  auto all = Run("select count(*) from orders");
+  auto before = Run(
+      "select count(*) from orders where o_orderdate < '1996-07-01'");
+  auto after = Run(
+      "select count(*) from orders where o_orderdate >= '1996-07-01'");
+  EXPECT_EQ(all[0][0].AsInt64(),
+            before[0][0].AsInt64() + after[0][0].AsInt64());
+  EXPECT_GT(before[0][0].AsInt64(), 0);
+  EXPECT_GT(after[0][0].AsInt64(), 0);
+}
+
+TEST_F(SqlBindTest, AvgLoweringMatchesSumOverCount) {
+  auto avg = Run("select avg(o_totalprice) from orders");
+  auto parts = Run("select sum(o_totalprice), count(o_totalprice) from orders");
+  ASSERT_EQ(avg.size(), 1u);
+  double expect = parts[0][0].AsDouble() / parts[0][1].AsDouble();
+  EXPECT_NEAR(avg[0][0].AsDouble(), expect, 1e-6);
+}
+
+TEST_F(SqlBindTest, ArithmeticInSelect) {
+  auto rows = Run(
+      "select n_nationkey + 100, n_nationkey * 2 from nation "
+      "where n_nationkey = 7");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 107);
+  EXPECT_EQ(rows[0][1].AsInt64(), 14);
+}
+
+TEST_F(SqlBindTest, OrderByVariants) {
+  auto by_alias = Run(
+      "select n_name, n_nationkey as k from nation order by k desc");
+  ASSERT_EQ(by_alias.size(), 25u);
+  EXPECT_EQ(by_alias[0][1].AsInt64(), 24);
+  auto by_position = Run("select n_name from nation order by 1");
+  EXPECT_EQ(by_position[0][0].AsString(), "ALGERIA");
+  auto by_expr = Run(
+      "select n_regionkey, count(*) from nation group by n_regionkey "
+      "order by count(*) desc, n_regionkey");
+  ASSERT_EQ(by_expr.size(), 5u);
+  EXPECT_GE(by_expr[0][1].AsInt64(), by_expr[4][1].AsInt64());
+}
+
+TEST_F(SqlBindTest, HavingScalarSubquery) {
+  // Regions whose nation count exceeds the average (25/5 = 5 -> none),
+  // and a variant with a lower threshold.
+  auto none = Run(
+      "select n_regionkey, count(*) as c from nation group by n_regionkey "
+      "having count(*) > (select count(*) / 5 from nation)");
+  EXPECT_TRUE(none.empty());
+  auto all5 = Run(
+      "select n_regionkey, count(*) as c from nation group by n_regionkey "
+      "having count(*) >= (select count(*) / 5 from nation)");
+  EXPECT_EQ(all5.size(), 5u);
+}
+
+TEST_F(SqlBindTest, WhereScalarSubquery) {
+  auto rows = Run(
+      "select count(*) from orders "
+      "where o_totalprice > (select avg(o_totalprice) from orders)");
+  auto parts = Run("select avg(o_totalprice) from orders");
+  double avg = parts[0][0].AsDouble();
+  const Table* orders = catalog_->GetTable("orders");
+  int price_col = orders->schema().FindColumn("o_totalprice");
+  int64_t expected = 0;
+  for (const Row& r : orders->rows()) {
+    if (r[price_col].AsDouble() > avg) ++expected;
+  }
+  EXPECT_EQ(rows[0][0].AsInt64(), expected);
+}
+
+TEST_F(SqlBindTest, TableAliases) {
+  auto rows = Run(
+      "select n.n_name from nation n, region r "
+      "where n.n_regionkey = r.r_regionkey and r.r_name = 'EUROPE'");
+  EXPECT_EQ(rows.size(), 5u);  // five European nations in the spec mapping
+}
+
+TEST_F(SqlBindTest, BatchBindsIndependentInstances) {
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(
+      "select count(*) from nation; select count(*) from nation", &ctx);
+  ASSERT_TRUE(stmts.ok());
+  ASSERT_EQ(stmts->size(), 2u);
+  // The two statements reference distinct relation instances.
+  // Project -> GroupBy -> Get
+  int rel0 = (*stmts)[0].root->children[0]->children[0]->op.rel_id;
+  int rel1 = (*stmts)[1].root->children[0]->children[0]->op.rel_id;
+  EXPECT_GE(rel0, 0);
+  EXPECT_GE(rel1, 0);
+  EXPECT_NE(rel0, rel1);
+}
+
+}  // namespace
+}  // namespace subshare

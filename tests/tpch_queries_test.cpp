@@ -1,0 +1,169 @@
+// Integration battery: TPC-H-flavored queries (adapted to the supported
+// SQL subset) run through the full CSE-enabled optimizer and compared with
+// the naive reference planner — single queries, pairs, and batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cse_optimizer.h"
+#include "exec/executor.h"
+#include "exec/naive_planner.h"
+#include "sql/binder.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+namespace {
+
+std::vector<std::string> Canon(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) {
+      if (v.type() == DataType::kDouble && !v.is_null()) {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%.3f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// TPC-H-like statements within the supported subset.
+const char* kQueries[] = {
+    // Q1 pricing summary (no sharing; exercises multi-aggregate grouping).
+    "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, "
+    "sum(l_extendedprice) as sum_base, avg(l_discount) as avg_disc, "
+    "count(*) as count_order from lineitem "
+    "where l_shipdate <= '1998-09-02' group by l_returnflag, l_linestatus "
+    "order by l_returnflag, l_linestatus",
+    // Q3 shipping priority (3-way join, selective predicates).
+    "select o_orderkey, sum(l_extendedprice) as revenue from customer, "
+    "orders, lineitem where c_mktsegment = 'BUILDING' and c_custkey = "
+    "o_custkey and l_orderkey = o_orderkey and o_orderdate < '1995-03-15' "
+    "group by o_orderkey order by revenue desc",
+    // Q5 local supplier volume (6-way join).
+    "select n_name, sum(l_extendedprice) as revenue from customer, orders, "
+    "lineitem, supplier, nation, region where c_custkey = o_custkey and "
+    "l_orderkey = o_orderkey and l_suppkey = s_suppkey and c_nationkey = "
+    "s_nationkey and s_nationkey = n_nationkey and n_regionkey = "
+    "r_regionkey and r_name = 'ASIA' and o_orderdate >= '1994-01-01' and "
+    "o_orderdate < '1995-01-01' group by n_name order by revenue desc",
+    // Q6 forecasting revenue change (single table, range predicates).
+    "select sum(l_extendedprice) as revenue from lineitem where "
+    "l_shipdate >= '1994-01-01' and l_shipdate < '1995-01-01' and "
+    "l_discount >= 0.05 and l_discount <= 0.07 and l_quantity < 24",
+    // Q10 returned items (4-way join with aggregation).
+    "select c_custkey, c_name, sum(l_extendedprice) as revenue, n_name "
+    "from customer, orders, lineitem, nation where c_custkey = o_custkey "
+    "and l_orderkey = o_orderkey and o_orderdate >= '1993-10-01' and "
+    "o_orderdate < '1994-01-01' and l_returnflag = 'R' and c_nationkey = "
+    "n_nationkey group by c_custkey, c_name, n_name",
+    // Q11-ish (the paper's §6.3 nested query).
+    "select c_nationkey, sum(l_discount) as totaldisc from customer, "
+    "orders, lineitem where c_custkey = o_custkey and o_orderkey = "
+    "l_orderkey group by c_nationkey having sum(l_discount) > (select "
+    "sum(l_discount) / 25 from customer, orders, lineitem where c_custkey "
+    "= o_custkey and o_orderkey = l_orderkey) order by totaldisc desc",
+    // Q19-ish (disjunctive predicates).
+    "select sum(l_extendedprice) as revenue from lineitem, part where "
+    "p_partkey = l_partkey and ((p_size <= 5 and l_quantity >= 1 and "
+    "l_quantity <= 11) or (p_size <= 10 and l_quantity >= 10 and "
+    "l_quantity <= 20))",
+    // Partsupp-heavy aggregation.
+    "select ps_partkey, sum(ps_supplycost) as value from partsupp, "
+    "supplier, nation where ps_suppkey = s_suppkey and s_nationkey = "
+    "n_nationkey and n_name = 'GERMANY' group by ps_partkey",
+    // Q7-ish volume shipping (two nation roles avoided; one-sided variant).
+    "select n_name, sum(l_extendedprice) as revenue from supplier, "
+    "lineitem, orders, nation where s_suppkey = l_suppkey and o_orderkey "
+    "= l_orderkey and s_nationkey = n_nationkey and l_shipdate between "
+    "'1995-01-01' and '1996-12-31' group by n_name",
+    // Q9-ish product-type profit across six tables.
+    "select n_name, sum(l_extendedprice) as amount from part, supplier, "
+    "lineitem, partsupp, orders, nation where s_suppkey = l_suppkey and "
+    "ps_suppkey = l_suppkey and ps_partkey = l_partkey and p_partkey = "
+    "l_partkey and o_orderkey = l_orderkey and s_nationkey = n_nationkey "
+    "and p_size < 15 group by n_name",
+    // Q12-ish shipmode priority counts.
+    "select l_shipmode, count(*) as n from orders, lineitem where "
+    "o_orderkey = l_orderkey and l_shipmode in ('MAIL', 'SHIP') and "
+    "l_shipdate >= '1994-01-01' and l_shipdate < '1995-01-01' "
+    "group by l_shipmode",
+    // Q14-ish promo revenue over a month.
+    "select sum(l_extendedprice) as promo from lineitem, part where "
+    "l_partkey = p_partkey and l_shipdate >= '1995-09-01' and l_shipdate "
+    "< '1995-10-01' and p_size between 1 and 25",
+};
+
+class TpchQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+  static Catalog* catalog_;
+};
+
+Catalog* TpchQueryTest::catalog_ = nullptr;
+
+TEST_P(TpchQueryTest, OptimizedMatchesReference) {
+  const std::string query = kQueries[GetParam()];
+  QueryContext naive_ctx(catalog_);
+  auto naive_stmts = sql::BindSql(query, &naive_ctx);
+  ASSERT_TRUE(naive_stmts.ok()) << naive_stmts.status().ToString();
+  auto reference = ExecutePlan(NaivePlanBatch(*naive_stmts, &naive_ctx));
+
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(query, &ctx);
+  ASSERT_TRUE(stmts.ok());
+  CseQueryOptimizer optimizer(&ctx, {});
+  CseMetrics metrics;
+  ExecutablePlan plan = optimizer.Optimize(*stmts, &metrics);
+  auto optimized = ExecutePlan(plan);
+
+  ASSERT_EQ(optimized.size(), reference.size());
+  // ORDER BY queries must match in order; others as sets.
+  bool ordered = query.find("order by") != std::string::npos;
+  for (size_t i = 0; i < optimized.size(); ++i) {
+    if (ordered) {
+      // Compare the ordering keys loosely: same multiset, and verify the
+      // optimizer preserved some sort (already covered elsewhere); here we
+      // only require multiset equality because ties may reorder.
+      EXPECT_EQ(Canon(optimized[i].rows), Canon(reference[i].rows));
+    } else {
+      EXPECT_EQ(Canon(optimized[i].rows), Canon(reference[i].rows));
+    }
+  }
+}
+
+TEST_P(TpchQueryTest, SelfBatchSharesWork) {
+  // Running the same query twice as a batch: the optimizer should find the
+  // sharing whenever the query has a multi-table SPJG core, and results
+  // must duplicate exactly.
+  const std::string query = kQueries[GetParam()];
+  const std::string batch = query + "; " + query;
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(batch, &ctx);
+  ASSERT_TRUE(stmts.ok());
+  CseQueryOptimizer optimizer(&ctx, {});
+  CseMetrics metrics;
+  ExecutablePlan plan = optimizer.Optimize(*stmts, &metrics);
+  auto results = ExecutePlan(plan);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(Canon(results[0].rows), Canon(results[1].rows));
+  EXPECT_LE(metrics.final_cost, metrics.normal_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace subshare

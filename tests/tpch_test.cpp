@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpch/tpch.h"
+#include "types/date.h"
+
+namespace subshare {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* TpchTest::catalog_ = nullptr;
+
+TEST_F(TpchTest, AllTablesPresentWithExpectedCardinalities) {
+  EXPECT_EQ(catalog_->GetTable("region")->row_count(), 5);
+  EXPECT_EQ(catalog_->GetTable("nation")->row_count(), 25);
+  EXPECT_EQ(catalog_->GetTable("customer")->row_count(),
+            tpch::TpchRows("customer", 0.002));
+  EXPECT_EQ(catalog_->GetTable("orders")->row_count(),
+            tpch::TpchRows("orders", 0.002));
+  EXPECT_EQ(catalog_->GetTable("partsupp")->row_count(),
+            4 * catalog_->GetTable("part")->row_count());
+  // lineitem: 1..7 lines per order.
+  int64_t n_orders = catalog_->GetTable("orders")->row_count();
+  int64_t n_lines = catalog_->GetTable("lineitem")->row_count();
+  EXPECT_GE(n_lines, n_orders);
+  EXPECT_LE(n_lines, 7 * n_orders);
+}
+
+TEST_F(TpchTest, ForeignKeysResolve) {
+  const Table* orders = catalog_->GetTable("orders");
+  const Table* customer = catalog_->GetTable("customer");
+  int o_custkey = orders->schema().FindColumn("o_custkey");
+  int64_t n_cust = customer->row_count();
+  for (const Row& r : orders->rows()) {
+    int64_t ck = r[o_custkey].AsInt64();
+    ASSERT_GE(ck, 1);
+    ASSERT_LE(ck, n_cust);
+  }
+  const Table* nation = catalog_->GetTable("nation");
+  int n_regionkey = nation->schema().FindColumn("n_regionkey");
+  for (const Row& r : nation->rows()) {
+    int64_t rk = r[n_regionkey].AsInt64();
+    ASSERT_GE(rk, 0);
+    ASSERT_LE(rk, 4);
+  }
+}
+
+TEST_F(TpchTest, LineitemJoinsToOrders) {
+  const Table* lineitem = catalog_->GetTable("lineitem");
+  const Table* orders = catalog_->GetTable("orders");
+  int l_orderkey = lineitem->schema().FindColumn("l_orderkey");
+  int64_t max_order = orders->row_count();
+  for (const Row& r : lineitem->rows()) {
+    int64_t ok = r[l_orderkey].AsInt64();
+    ASSERT_GE(ok, 1);
+    ASSERT_LE(ok, max_order);
+  }
+}
+
+TEST_F(TpchTest, OrderDatesInSpecRange) {
+  const Table* orders = catalog_->GetTable("orders");
+  int col = orders->schema().FindColumn("o_orderdate");
+  int64_t lo = CivilToDays(1992, 1, 1), hi = CivilToDays(1998, 8, 2);
+  for (const Row& r : orders->rows()) {
+    int64_t d = r[col].AsInt64();
+    ASSERT_GE(d, lo);
+    ASSERT_LE(d, hi);
+  }
+}
+
+TEST_F(TpchTest, MktSegmentDomain) {
+  const Table* customer = catalog_->GetTable("customer");
+  int col = customer->schema().FindColumn("c_mktsegment");
+  std::set<std::string> segs;
+  for (const Row& r : customer->rows()) segs.insert(r[col].AsString());
+  EXPECT_LE(segs.size(), 5u);
+  EXPECT_GE(segs.size(), 2u);
+}
+
+TEST_F(TpchTest, StatsAndIndexesBuilt) {
+  const Table* orders = catalog_->GetTable("orders");
+  EXPECT_TRUE(orders->stats_valid());
+  EXPECT_EQ(orders->stats().row_count, orders->row_count());
+  EXPECT_NE(orders->GetIndex(orders->schema().FindColumn("o_orderdate")),
+            nullptr);
+  EXPECT_NE(orders->GetIndex(orders->schema().FindColumn("o_orderkey")),
+            nullptr);
+}
+
+TEST_F(TpchTest, DeterministicAcrossLoads) {
+  Catalog cat2;
+  tpch::TpchOptions opts;
+  opts.scale_factor = 0.002;
+  ASSERT_TRUE(tpch::LoadTpch(&cat2, opts).ok());
+  const Table* l1 = catalog_->GetTable("lineitem");
+  const Table* l2 = cat2.GetTable("lineitem");
+  ASSERT_EQ(l1->row_count(), l2->row_count());
+  for (int64_t i = 0; i < l1->row_count(); i += 97) {
+    const Row& a = l1->rows()[i];
+    const Row& b = l2->rows()[i];
+    for (size_t c = 0; c < a.size(); ++c) {
+      ASSERT_EQ(a[c], b[c]) << "row " << i << " col " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subshare

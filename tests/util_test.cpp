@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "util/bitset64.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace subshare {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status bad = Status::InvalidArgument("boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: boom");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_FALSE(UseHalf(7, &out).ok());
+}
+
+TEST(StringUtilTest, JoinSplitLowerFormat) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Bitset64Test, BasicOps) {
+  Bitset64 s;
+  EXPECT_TRUE(s.Empty());
+  s.Set(3);
+  s.Set(10);
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_TRUE(s.Test(3));
+  EXPECT_FALSE(s.Test(4));
+  EXPECT_EQ(s.Lowest(), 3);
+
+  Bitset64 t = Bitset64::Single(10);
+  EXPECT_TRUE(s.Contains(t));
+  EXPECT_FALSE(t.Contains(s));
+  EXPECT_TRUE(s.Intersects(t));
+  EXPECT_EQ(s.Minus(t), Bitset64::Single(3));
+  EXPECT_EQ(s.Intersect(t), t);
+  EXPECT_EQ(s.Union(t), s);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HashTest, CombineChangesSeed) {
+  size_t s1 = 0, s2 = 0;
+  HashValue(&s1, 1);
+  HashValue(&s2, 2);
+  EXPECT_NE(s1, s2);
+  size_t s3 = s1;
+  HashValue(&s3, 2);
+  EXPECT_NE(s3, s1);
+}
+
+}  // namespace
+}  // namespace subshare

@@ -1,0 +1,221 @@
+// View-matching tests (§5.1): candidate materialization artifacts,
+// consumer matching with compensation (filter / re-aggregation /
+// projection), and negative cases where a consumer is NOT covered.
+#include <gtest/gtest.h>
+
+#include "core/cse_optimizer.h"
+#include "core/view_match.h"
+#include "expr/implication.h"
+#include "exec/executor.h"
+#include "sql/binder.h"
+#include "tpch/tpch.h"
+
+namespace subshare {
+namespace {
+
+class ViewMatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+
+  // Builds the memo for `sql`, runs the normal phase, and returns the
+  // consumer normal forms of every [has_groupby; n_tables] group.
+  struct Prepared {
+    std::unique_ptr<QueryContext> ctx;
+    std::unique_ptr<Optimizer> opt;
+    std::unique_ptr<CseManager> manager;
+    std::vector<SpjgNormalForm> consumers;
+  };
+  Prepared Prepare(const std::string& sql, bool groupby, size_t n_tables) {
+    Prepared p;
+    p.ctx = std::make_unique<QueryContext>(catalog_);
+    auto stmts = sql::BindSql(sql, p.ctx.get());
+    EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+    p.opt = std::make_unique<Optimizer>(p.ctx.get());
+    GroupId root = p.opt->BuildAndExplore(*stmts);
+    EXPECT_NE(p.opt->BestPlan(root, Bitset64()), nullptr);
+    p.manager = std::make_unique<CseManager>(&p.opt->memo(), p.ctx.get());
+    p.manager->CollectSignatures();
+    for (GroupId g = 0; g < p.opt->memo().num_groups(); ++g) {
+      const TableSignature& sig = p.manager->signature(g);
+      if (sig.valid && sig.has_groupby == groupby &&
+          sig.tables.size() == n_tables) {
+        auto nf = p.manager->Normalize(g);
+        if (nf.has_value()) p.consumers.push_back(std::move(*nf));
+      }
+    }
+    return p;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* ViewMatchTest::catalog_ = nullptr;
+
+TEST_F(ViewMatchTest, MaterializeCreatesSpoolArtifacts) {
+  Prepared p = Prepare(
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 3 "
+      "group by c_nationkey; "
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 7 "
+      "group by c_nationkey",
+      /*groupby=*/true, /*n_tables=*/2);
+  ASSERT_GE(p.consumers.size(), 2u);
+
+  CandidateGenerator gen(p.manager.get(), &p.opt->cards(), {});
+  CseSpec spec = gen.BuildSpec(p.consumers, {0, 1});
+  CseMaterializer mat(&p.opt->memo(), p.ctx.get());
+  CseArtifacts art = mat.Materialize(spec, 0);
+
+  EXPECT_NE(art.eval_root, kInvalidGroup);
+  EXPECT_NE(art.cseref_group, kInvalidGroup);
+  // Spool = group cols + aggregates; ascending ids matching eval output.
+  ASSERT_EQ(art.spool_cols.size(),
+            spec.group_cols.size() + spec.aggs.size());
+  EXPECT_TRUE(std::is_sorted(art.spool_cols.begin(), art.spool_cols.end()));
+  EXPECT_EQ(p.opt->memo().group(art.eval_root).output, art.spool_cols);
+  EXPECT_EQ(art.spool_schema.num_columns(),
+            static_cast<int>(art.spool_cols.size()));
+  // CseRef group carries the spool cardinality estimate.
+  EXPECT_GT(p.opt->memo().group(art.cseref_group).cardinality, 0);
+}
+
+TEST_F(ViewMatchTest, MatchProducesCompensationFilter) {
+  Prepared p = Prepare(
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 3 "
+      "group by c_nationkey; "
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 7 "
+      "group by c_nationkey",
+      true, 2);
+  ASSERT_GE(p.consumers.size(), 2u);
+  CandidateGenerator gen(p.manager.get(), &p.opt->cards(), {});
+  CseSpec spec = gen.BuildSpec(p.consumers, {0, 1});
+  CseMaterializer mat(&p.opt->memo(), p.ctx.get());
+  CseArtifacts art = mat.Materialize(spec, 0);
+
+  // The hull is c_nationkey > 3; consumer 2 (">7") needs compensation,
+  // consumer 1 (">3") does not.
+  auto sub0 = mat.MatchConsumer(spec, art, p.consumers[0]);
+  auto sub1 = mat.MatchConsumer(spec, art, p.consumers[1]);
+  ASSERT_TRUE(sub0.has_value());
+  ASSERT_TRUE(sub1.has_value());
+  const SubstituteSpec& gt3 =
+      ExprToString(CombineConjuncts(sub0->compensation)).find("7") !=
+              std::string::npos
+          ? *sub1
+          : *sub0;
+  const SubstituteSpec& gt7 = (&gt3 == &*sub0) ? *sub1 : *sub0;
+  EXPECT_TRUE(gt3.compensation.empty());
+  ASSERT_EQ(gt7.compensation.size(), 1u);
+  // Same grouping columns: no re-aggregation.
+  EXPECT_FALSE(sub0->need_reagg);
+  EXPECT_FALSE(sub1->need_reagg);
+}
+
+TEST_F(ViewMatchTest, MatchRequiresReaggregationForCoarserGrouping) {
+  Prepared p = Prepare(
+      "select c_nationkey, c_mktsegment, sum(o_totalprice) as t "
+      "from customer, orders where c_custkey = o_custkey "
+      "group by c_nationkey, c_mktsegment; "
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey group by c_nationkey",
+      true, 2);
+  ASSERT_GE(p.consumers.size(), 2u);
+  CandidateGenerator gen(p.manager.get(), &p.opt->cards(), {});
+  CseSpec spec = gen.BuildSpec(p.consumers, {0, 1});
+  // CSE groups by the union (nationkey, mktsegment).
+  EXPECT_EQ(spec.group_cols.size(), 2u);
+  CseMaterializer mat(&p.opt->memo(), p.ctx.get());
+  CseArtifacts art = mat.Materialize(spec, 0);
+
+  int reaggs = 0;
+  for (const SpjgNormalForm& consumer : {p.consumers[0], p.consumers[1]}) {
+    auto sub = mat.MatchConsumer(spec, art, consumer);
+    ASSERT_TRUE(sub.has_value());
+    if (sub->need_reagg) {
+      ++reaggs;
+      ASSERT_EQ(sub->reagg_items.size(), 1u);
+      EXPECT_EQ(sub->reagg_items[0].fn, AggFn::kSum);  // SUM of SUM
+    }
+  }
+  // Exactly the coarser consumer re-aggregates.
+  EXPECT_EQ(reaggs, 1);
+}
+
+TEST_F(ViewMatchTest, MatchRejectsUncoveredConsumers) {
+  Prepared p = Prepare(
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 3 "
+      "group by c_nationkey; "
+      "select c_nationkey, min(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 7 "
+      "group by c_nationkey",
+      true, 2);
+  ASSERT_GE(p.consumers.size(), 2u);
+  // Build a candidate from consumer 0 ONLY: it computes SUM but not MIN
+  // and covers only nationkey > 3.
+  CandidateGenerator gen(p.manager.get(), &p.opt->cards(), {});
+  int sum_idx = p.consumers[0].canon_aggs[0].first == AggFn::kSum ? 0 : 1;
+  CseSpec spec = gen.BuildSpec(p.consumers, {sum_idx});
+  CseMaterializer mat(&p.opt->memo(), p.ctx.get());
+  CseArtifacts art = mat.Materialize(spec, 0);
+  // The MIN consumer cannot be derived (missing aggregate).
+  auto sub = mat.MatchConsumer(spec, art, p.consumers[1 - sum_idx]);
+  EXPECT_FALSE(sub.has_value());
+}
+
+TEST_F(ViewMatchTest, MatchRejectsWiderPredicateConsumer) {
+  Prepared p = Prepare(
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 10 "
+      "group by c_nationkey; "
+      "select c_nationkey, sum(o_totalprice) as t from customer, orders "
+      "where c_custkey = o_custkey and c_nationkey > 2 "
+      "group by c_nationkey",
+      true, 2);
+  ASSERT_GE(p.consumers.size(), 2u);
+  // Candidate built from the narrow consumer (> 10) only: the wide
+  // consumer (> 2) needs rows the spool does not retain.
+  int narrow = -1, wide = -1;
+  for (int i = 0; i < 2; ++i) {
+    ValueRange r = DeriveRange(p.consumers[i].canon_conjuncts,
+                               p.consumers[i].canon_group_cols[0], nullptr);
+    if (r.lo.has_value() && r.lo->AsInt64() == 10) narrow = i;
+    if (r.lo.has_value() && r.lo->AsInt64() == 2) wide = i;
+  }
+  ASSERT_GE(narrow, 0);
+  ASSERT_GE(wide, 0);
+  CandidateGenerator gen(p.manager.get(), &p.opt->cards(), {});
+  CseSpec spec = gen.BuildSpec(p.consumers, {narrow});
+  CseMaterializer mat(&p.opt->memo(), p.ctx.get());
+  CseArtifacts art = mat.Materialize(spec, 0);
+  EXPECT_TRUE(mat.MatchConsumer(spec, art, p.consumers[narrow]).has_value());
+  EXPECT_FALSE(mat.MatchConsumer(spec, art, p.consumers[wide]).has_value());
+}
+
+TEST_F(ViewMatchTest, DifferentJoinsAreNotCompatibleAndNotMatched) {
+  // Same tables, different join predicates: not join compatible (Def 4.1),
+  // and even if forced, the consumer predicate does not imply the CSE's.
+  Prepared p = Prepare(
+      "select count(*) from customer, orders where c_custkey = o_custkey; "
+      "select count(*) from customer, orders where c_nationkey = o_custkey",
+      false, 2);
+  ASSERT_GE(p.consumers.size(), 2u);
+  EXPECT_FALSE(
+      JoinCompatible(p.consumers[0], p.consumers[1], p.ctx->columns()));
+  auto buckets = PartitionJoinCompatible(p.consumers, p.ctx->columns());
+  for (const CompatibleGroup& b : buckets) {
+    EXPECT_LT(b.members.size(), p.consumers.size());
+  }
+}
+
+}  // namespace
+}  // namespace subshare
