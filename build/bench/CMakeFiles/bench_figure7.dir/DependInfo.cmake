@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figure7.cpp" "bench/CMakeFiles/bench_figure7.dir/bench_figure7.cpp.o" "gcc" "bench/CMakeFiles/bench_figure7.dir/bench_figure7.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_maint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_batch.dir/report_batch.cpp.o"
+  "CMakeFiles/report_batch.dir/report_batch.cpp.o.d"
+  "report_batch"
+  "report_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

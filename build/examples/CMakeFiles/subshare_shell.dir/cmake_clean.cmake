@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subshare_shell.dir/subshare_shell.cpp.o"
+  "CMakeFiles/subshare_shell.dir/subshare_shell.cpp.o.d"
+  "subshare_shell"
+  "subshare_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subshare_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

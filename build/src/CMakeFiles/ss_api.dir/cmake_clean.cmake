@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_api.dir/api/database.cc.o"
+  "CMakeFiles/ss_api.dir/api/database.cc.o.d"
+  "libss_api.a"
+  "libss_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/ss_catalog.dir/catalog/catalog.cc.o.d"
+  "libss_catalog.a"
+  "libss_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_gen.cc" "src/CMakeFiles/ss_core.dir/core/candidate_gen.cc.o" "gcc" "src/CMakeFiles/ss_core.dir/core/candidate_gen.cc.o.d"
+  "/root/repo/src/core/cse_manager.cc" "src/CMakeFiles/ss_core.dir/core/cse_manager.cc.o" "gcc" "src/CMakeFiles/ss_core.dir/core/cse_manager.cc.o.d"
+  "/root/repo/src/core/cse_optimizer.cc" "src/CMakeFiles/ss_core.dir/core/cse_optimizer.cc.o" "gcc" "src/CMakeFiles/ss_core.dir/core/cse_optimizer.cc.o.d"
+  "/root/repo/src/core/join_compat.cc" "src/CMakeFiles/ss_core.dir/core/join_compat.cc.o" "gcc" "src/CMakeFiles/ss_core.dir/core/join_compat.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/CMakeFiles/ss_core.dir/core/signature.cc.o" "gcc" "src/CMakeFiles/ss_core.dir/core/signature.cc.o.d"
+  "/root/repo/src/core/view_match.cc" "src/CMakeFiles/ss_core.dir/core/view_match.cc.o" "gcc" "src/CMakeFiles/ss_core.dir/core/view_match.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ss_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

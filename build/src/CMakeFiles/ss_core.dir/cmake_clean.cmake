@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/core/candidate_gen.cc.o"
+  "CMakeFiles/ss_core.dir/core/candidate_gen.cc.o.d"
+  "CMakeFiles/ss_core.dir/core/cse_manager.cc.o"
+  "CMakeFiles/ss_core.dir/core/cse_manager.cc.o.d"
+  "CMakeFiles/ss_core.dir/core/cse_optimizer.cc.o"
+  "CMakeFiles/ss_core.dir/core/cse_optimizer.cc.o.d"
+  "CMakeFiles/ss_core.dir/core/join_compat.cc.o"
+  "CMakeFiles/ss_core.dir/core/join_compat.cc.o.d"
+  "CMakeFiles/ss_core.dir/core/signature.cc.o"
+  "CMakeFiles/ss_core.dir/core/signature.cc.o.d"
+  "CMakeFiles/ss_core.dir/core/view_match.cc.o"
+  "CMakeFiles/ss_core.dir/core/view_match.cc.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/ss_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/ss_exec.dir/exec/naive_planner.cc.o"
+  "CMakeFiles/ss_exec.dir/exec/naive_planner.cc.o.d"
+  "libss_exec.a"
+  "libss_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

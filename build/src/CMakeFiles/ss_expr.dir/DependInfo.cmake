@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/aggregate.cc" "src/CMakeFiles/ss_expr.dir/expr/aggregate.cc.o" "gcc" "src/CMakeFiles/ss_expr.dir/expr/aggregate.cc.o.d"
+  "/root/repo/src/expr/column.cc" "src/CMakeFiles/ss_expr.dir/expr/column.cc.o" "gcc" "src/CMakeFiles/ss_expr.dir/expr/column.cc.o.d"
+  "/root/repo/src/expr/equivalence.cc" "src/CMakeFiles/ss_expr.dir/expr/equivalence.cc.o" "gcc" "src/CMakeFiles/ss_expr.dir/expr/equivalence.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/ss_expr.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/ss_expr.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/ss_expr.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/ss_expr.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/implication.cc" "src/CMakeFiles/ss_expr.dir/expr/implication.cc.o" "gcc" "src/CMakeFiles/ss_expr.dir/expr/implication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_expr.dir/expr/aggregate.cc.o"
+  "CMakeFiles/ss_expr.dir/expr/aggregate.cc.o.d"
+  "CMakeFiles/ss_expr.dir/expr/column.cc.o"
+  "CMakeFiles/ss_expr.dir/expr/column.cc.o.d"
+  "CMakeFiles/ss_expr.dir/expr/equivalence.cc.o"
+  "CMakeFiles/ss_expr.dir/expr/equivalence.cc.o.d"
+  "CMakeFiles/ss_expr.dir/expr/evaluator.cc.o"
+  "CMakeFiles/ss_expr.dir/expr/evaluator.cc.o.d"
+  "CMakeFiles/ss_expr.dir/expr/expr.cc.o"
+  "CMakeFiles/ss_expr.dir/expr/expr.cc.o.d"
+  "CMakeFiles/ss_expr.dir/expr/implication.cc.o"
+  "CMakeFiles/ss_expr.dir/expr/implication.cc.o.d"
+  "libss_expr.a"
+  "libss_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_logical.dir/logical/logical_op.cc.o"
+  "CMakeFiles/ss_logical.dir/logical/logical_op.cc.o.d"
+  "libss_logical.a"
+  "libss_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_maint.dir/maint/view_maintenance.cc.o"
+  "CMakeFiles/ss_maint.dir/maint/view_maintenance.cc.o.d"
+  "libss_maint.a"
+  "libss_maint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_maint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

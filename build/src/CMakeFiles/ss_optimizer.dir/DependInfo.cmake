@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/ss_optimizer.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/ss_optimizer.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/ss_optimizer.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/ss_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/memo.cc" "src/CMakeFiles/ss_optimizer.dir/optimizer/memo.cc.o" "gcc" "src/CMakeFiles/ss_optimizer.dir/optimizer/memo.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/ss_optimizer.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/ss_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/ss_optimizer.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/ss_optimizer.dir/optimizer/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ss_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_optimizer.dir/optimizer/cardinality.cc.o"
+  "CMakeFiles/ss_optimizer.dir/optimizer/cardinality.cc.o.d"
+  "CMakeFiles/ss_optimizer.dir/optimizer/cost_model.cc.o"
+  "CMakeFiles/ss_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "CMakeFiles/ss_optimizer.dir/optimizer/memo.cc.o"
+  "CMakeFiles/ss_optimizer.dir/optimizer/memo.cc.o.d"
+  "CMakeFiles/ss_optimizer.dir/optimizer/optimizer.cc.o"
+  "CMakeFiles/ss_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "CMakeFiles/ss_optimizer.dir/optimizer/rules.cc.o"
+  "CMakeFiles/ss_optimizer.dir/optimizer/rules.cc.o.d"
+  "libss_optimizer.a"
+  "libss_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physical/operators.cc" "src/CMakeFiles/ss_physical.dir/physical/operators.cc.o" "gcc" "src/CMakeFiles/ss_physical.dir/physical/operators.cc.o.d"
+  "/root/repo/src/physical/physical_plan.cc" "src/CMakeFiles/ss_physical.dir/physical/physical_plan.cc.o" "gcc" "src/CMakeFiles/ss_physical.dir/physical/physical_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ss_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_physical.dir/physical/operators.cc.o"
+  "CMakeFiles/ss_physical.dir/physical/operators.cc.o.d"
+  "CMakeFiles/ss_physical.dir/physical/physical_plan.cc.o"
+  "CMakeFiles/ss_physical.dir/physical/physical_plan.cc.o.d"
+  "libss_physical.a"
+  "libss_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sql.dir/sql/binder.cc.o"
+  "CMakeFiles/ss_sql.dir/sql/binder.cc.o.d"
+  "CMakeFiles/ss_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/ss_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/ss_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/ss_sql.dir/sql/parser.cc.o.d"
+  "libss_sql.a"
+  "libss_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_storage.dir/storage/table.cc.o"
+  "CMakeFiles/ss_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/ss_storage.dir/storage/work_table.cc.o"
+  "CMakeFiles/ss_storage.dir/storage/work_table.cc.o.d"
+  "libss_storage.a"
+  "libss_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

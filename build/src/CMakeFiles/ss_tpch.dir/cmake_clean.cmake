@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_tpch.dir/tpch/tpch.cc.o"
+  "CMakeFiles/ss_tpch.dir/tpch/tpch.cc.o.d"
+  "libss_tpch.a"
+  "libss_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

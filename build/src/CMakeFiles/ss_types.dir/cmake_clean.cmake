@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_types.dir/types/data_type.cc.o"
+  "CMakeFiles/ss_types.dir/types/data_type.cc.o.d"
+  "CMakeFiles/ss_types.dir/types/date.cc.o"
+  "CMakeFiles/ss_types.dir/types/date.cc.o.d"
+  "CMakeFiles/ss_types.dir/types/schema.cc.o"
+  "CMakeFiles/ss_types.dir/types/schema.cc.o.d"
+  "CMakeFiles/ss_types.dir/types/value.cc.o"
+  "CMakeFiles/ss_types.dir/types/value.cc.o.d"
+  "libss_types.a"
+  "libss_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_util.dir/util/string_util.cc.o"
+  "CMakeFiles/ss_util.dir/util/string_util.cc.o.d"
+  "libss_util.a"
+  "libss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cse_advanced_test.dir/cse_advanced_test.cpp.o"
+  "CMakeFiles/cse_advanced_test.dir/cse_advanced_test.cpp.o.d"
+  "cse_advanced_test"
+  "cse_advanced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cse_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

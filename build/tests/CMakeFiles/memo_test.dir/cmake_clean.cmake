@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_test.dir/memo_test.cpp.o"
+  "CMakeFiles/memo_test.dir/memo_test.cpp.o.d"
+  "memo_test"
+  "memo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

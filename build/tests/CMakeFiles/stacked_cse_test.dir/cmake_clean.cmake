@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacked_cse_test.dir/stacked_cse_test.cpp.o"
+  "CMakeFiles/stacked_cse_test.dir/stacked_cse_test.cpp.o.d"
+  "stacked_cse_test"
+  "stacked_cse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacked_cse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

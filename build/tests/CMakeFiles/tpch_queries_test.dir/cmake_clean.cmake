@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_queries_test.dir/tpch_queries_test.cpp.o"
+  "CMakeFiles/tpch_queries_test.dir/tpch_queries_test.cpp.o.d"
+  "tpch_queries_test"
+  "tpch_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_match_test.dir/view_match_test.cpp.o"
+  "CMakeFiles/view_match_test.dir/view_match_test.cpp.o.d"
+  "view_match_test"
+  "view_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
