@@ -53,7 +53,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
   }
 
   if (options.execute) {
-    result.statements = ExecutePlan(plan, &result.execution);
+    result.statements = ExecutePlan(plan, options.exec, &result.execution);
   }
   return result;
 }

@@ -17,6 +17,9 @@ struct QueryOptions {
   CseOptimizerOptions cse;
   bool execute = true;       // false: optimize only (planning benchmarks)
   bool use_naive_plan = false;  // bypass the optimizer (reference runs)
+  // Executor knobs: pull mode (vectorized batches by default, or the
+  // row-at-a-time reference path) and per-operator timing collection.
+  ExecOptions exec;
 };
 
 struct QueryResult {

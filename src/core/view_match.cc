@@ -96,8 +96,6 @@ CseArtifacts CseMaterializer::Materialize(const CseSpec& spec, int cse_id) {
   // the eval group's (sorted) output — the invariant Assemble() relies on.
   std::vector<ProjectItem> items;
   for (ColId canon : spec.output_cols) {
-    // Copy: AddSynthetic can reallocate the registry's column storage,
-    // which would invalidate a reference returned by info().
     const ColumnInfo info = reg.info(canon);
     ColId spool = reg.AddSynthetic(
         StrFormat("cse%d_%s", cse_id, info.name.c_str()), info.type);
@@ -108,7 +106,7 @@ CseArtifacts CseMaterializer::Materialize(const CseSpec& spec, int cse_id) {
     art.spool_schema.AddColumn(info.name, info.type);
   }
   for (size_t i = 0; i < agg_outputs.size(); ++i) {
-    const ColumnInfo info = reg.info(agg_outputs[i]);  // copy, see above
+    const ColumnInfo info = reg.info(agg_outputs[i]);
     ColId spool = reg.AddSynthetic(info.name + "_spool", info.type);
     items.push_back({Expr::Column(agg_outputs[i], info.type), spool});
     art.agg_spool_cols.push_back(spool);

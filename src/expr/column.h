@@ -68,7 +68,10 @@ class ColumnRegistry {
   // Canonical counterpart of a base column, or kInvalidColId for synthetic.
   ColId CanonicalOf(ColId col);
 
-  const ColumnInfo& info(ColId col) const { return columns_[col]; }
+  // Returned by value: AddSynthetic/AddRelation/InternCanonical may
+  // reallocate the backing vector, so a reference would dangle as soon as a
+  // caller registers new columns (this bit once; see the regression test).
+  ColumnInfo info(ColId col) const { return columns_[col]; }
   const RelationInfo& relation(int rel_id) const { return relations_[rel_id]; }
   int num_relations() const { return static_cast<int>(relations_.size()); }
   int num_columns() const { return static_cast<int>(columns_.size()); }

@@ -108,4 +108,73 @@ bool EvalPredicate(const ExprPtr& e, const Row& row) {
   return EvalExpr(e, row).AsBool();
 }
 
+namespace {
+
+// True iff three-way comparison result `c` satisfies `op`.
+inline bool CmpHolds(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+void EvalPredicateBatch(const ExprPtr& e, const Row* rows, int n,
+                        uint8_t* keep) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kAnd:
+      // Each conjunct ANDs into keep; later conjuncts skip dead rows.
+      for (const ExprPtr& c : e->children) {
+        EvalPredicateBatch(c, rows, n, keep);
+      }
+      return;
+    case ExprKind::kComparison: {
+      const Expr& lhs = *e->children[0];
+      const Expr& rhs = *e->children[1];
+      if (lhs.kind == ExprKind::kBoundColumn &&
+          rhs.kind == ExprKind::kLiteral) {
+        const int idx = lhs.bound_index;
+        const Value& lit = rhs.literal;
+        if (lit.is_null()) {  // comparison with NULL is always false
+          for (int i = 0; i < n; ++i) keep[i] = 0;
+          return;
+        }
+        for (int i = 0; i < n; ++i) {
+          if (!keep[i]) continue;
+          const Value& v = rows[i][idx];
+          keep[i] = !v.is_null() && CmpHolds(e->cmp, v.Compare(lit));
+        }
+        return;
+      }
+      if (lhs.kind == ExprKind::kBoundColumn &&
+          rhs.kind == ExprKind::kBoundColumn) {
+        const int li = lhs.bound_index;
+        const int ri = rhs.bound_index;
+        for (int i = 0; i < n; ++i) {
+          if (!keep[i]) continue;
+          const Value& l = rows[i][li];
+          const Value& r = rows[i][ri];
+          keep[i] = !l.is_null() && !r.is_null() &&
+                    CmpHolds(e->cmp, l.Compare(r));
+        }
+        return;
+      }
+      break;  // other comparison shapes: generic fallback
+    }
+    default:
+      break;
+  }
+  // Generic fallback: per-row evaluation of the whole subtree.
+  for (int i = 0; i < n; ++i) {
+    if (keep[i]) keep[i] = EvalPredicate(e, rows[i]);
+  }
+}
+
 }  // namespace subshare

@@ -6,6 +6,7 @@
 #ifndef SUBSHARE_EXPR_EVALUATOR_H_
 #define SUBSHARE_EXPR_EVALUATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "expr/expr.h"
@@ -43,6 +44,15 @@ Value EvalExpr(const ExprPtr& e, const Row& row);
 
 // Convenience: true iff the bound predicate evaluates to true.
 bool EvalPredicate(const ExprPtr& e, const Row& row);
+
+// Vectorized predicate evaluation: ANDs the result of `e` over rows[0..n)
+// into keep[i] (callers initialize keep to 1). The expression tree is walked
+// once per batch instead of once per row; common shapes (conjunctions of
+// `column <cmp> literal` / `column <cmp> column`) run as tight loops over
+// the already-bound column indexes, skipping rows another conjunct has
+// already rejected. Results are identical to per-row EvalPredicate.
+void EvalPredicateBatch(const ExprPtr& e, const Row* rows, int n,
+                        uint8_t* keep);
 
 }  // namespace subshare
 

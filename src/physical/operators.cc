@@ -1,13 +1,22 @@
 #include "physical/operators.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace subshare {
 
 namespace {
+
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Index mapping from a source layout to a target layout.
 std::vector<int> MappingTo(const Layout& source, const Layout& target) {
@@ -21,6 +30,16 @@ std::vector<int> MappingTo(const Layout& source, const Layout& target) {
   return map;
 }
 
+// True if `map` is the identity over rows of width `source_width` (output
+// rows can then be moved through instead of re-gathered).
+bool IsIdentityMapping(const std::vector<int>& map, int source_width) {
+  if (static_cast<int>(map.size()) != source_width) return false;
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (map[i] != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
 Row ApplyMapping(const Row& source, const std::vector<int>& map) {
   Row out;
   out.reserve(map.size());
@@ -28,14 +47,65 @@ Row ApplyMapping(const Row& source, const std::vector<int>& map) {
   return out;
 }
 
-// Group key for hash aggregation / hash join build.
+// Hash of the key columns `idx` of `row`, combined exactly like
+// HashRow(extracted key) so stored and by-reference keys agree.
+size_t HashRowAt(const Row& row, const std::vector<int>& idx) {
+  size_t seed = 0;
+  for (int i : idx) HashCombine(&seed, row[i].Hash());
+  return seed;
+}
+
+// Group key for hash aggregation / hash join build. The hash is computed
+// once at construction; probes use RowKeyRef to look up without extracting
+// (and re-hashing) a key row per probe.
 struct RowKey {
   Row values;
-  bool operator==(const RowKey& other) const {
-    if (values.size() != other.values.size()) return false;
-    for (size_t i = 0; i < values.size(); ++i) {
-      if (values[i].is_null() != other.values[i].is_null()) return false;
-      if (!values[i].is_null() && values[i].Compare(other.values[i]) != 0) {
+  size_t hash;
+  explicit RowKey(Row v) : values(std::move(v)), hash(HashRow(values)) {}
+};
+
+// A key described by (row, key column indexes) with a precomputed hash;
+// used for heterogeneous (allocation-free) hash table probes.
+struct RowKeyRef {
+  const Row* row;
+  const std::vector<int>* idx;
+  size_t hash;
+};
+
+bool KeyValueEq(const Value& a, const Value& b) {
+  if (a.is_null() != b.is_null()) return false;
+  return a.is_null() || a.Compare(b) == 0;
+}
+
+struct RowKeyHash {
+  using is_transparent = void;
+  size_t operator()(const RowKey& k) const { return k.hash; }
+  size_t operator()(const RowKeyRef& k) const { return k.hash; }
+};
+
+struct RowKeyEq {
+  using is_transparent = void;
+  bool operator()(const RowKey& a, const RowKey& b) const {
+    if (a.values.size() != b.values.size()) return false;
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      if (!KeyValueEq(a.values[i], b.values[i])) return false;
+    }
+    return true;
+  }
+  bool operator()(const RowKeyRef& a, const RowKey& b) const {
+    if (a.idx->size() != b.values.size()) return false;
+    for (size_t i = 0; i < b.values.size(); ++i) {
+      if (!KeyValueEq((*a.row)[(*a.idx)[i]], b.values[i])) return false;
+    }
+    return true;
+  }
+  bool operator()(const RowKey& a, const RowKeyRef& b) const {
+    return operator()(b, a);
+  }
+  bool operator()(const RowKeyRef& a, const RowKeyRef& b) const {
+    if (a.idx->size() != b.idx->size()) return false;
+    for (size_t i = 0; i < a.idx->size(); ++i) {
+      if (!KeyValueEq((*a.row)[(*a.idx)[i]], (*b.row)[(*b.idx)[i]])) {
         return false;
       }
     }
@@ -43,22 +113,172 @@ struct RowKey {
   }
 };
 
-struct RowKeyHash {
-  size_t operator()(const RowKey& k) const { return HashRow(k.values); }
+template <typename V>
+using RowKeyMap = std::unordered_map<RowKey, V, RowKeyHash, RowKeyEq>;
+
+bool HasNullAt(const Row& row, const std::vector<int>& idx) {
+  for (int i : idx) {
+    if (row[i].is_null()) return true;
+  }
+  return false;
+}
+
+// Open-addressed hash table over a single int64 join key: maps key -> chain
+// of build-row indexes (power-of-two capacity, linear probing). The batch
+// engine's fast path for integer-keyed equi-joins — building it does no
+// per-row allocation, unlike the general RowKey map.
+struct IntKeyTable {
+  struct Slot {
+    int64_t key;        // valid where head >= 0
+    int32_t head = -1;  // first build-row index, -1 = empty
+  };
+  std::vector<Slot> slots;
+  std::vector<int32_t> next;  // build row -> next row with the same key
+  size_t mask = 0;
+
+  static uint64_t Mix(uint64_t x) {  // splitmix64 finalizer
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void Build(const std::vector<Row>& rows, int key_idx) {
+    size_t cap = 16;
+    while (cap < rows.size() * 2) cap <<= 1;
+    mask = cap - 1;
+    slots.assign(cap, Slot());
+    next.assign(rows.size(), -1);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Value& v = rows[i][key_idx];
+      if (v.is_null()) continue;  // nulls never join
+      int64_t k = v.AsInt64();
+      size_t s = Mix(static_cast<uint64_t>(k)) & mask;
+      while (slots[s].head >= 0 && slots[s].key != k) s = (s + 1) & mask;
+      slots[s].key = k;
+      next[i] = slots[s].head;
+      slots[s].head = static_cast<int32_t>(i);
+    }
+  }
+
+  int32_t Find(int64_t k) const {
+    size_t s = Mix(static_cast<uint64_t>(k)) & mask;
+    while (slots[s].head >= 0) {
+      if (slots[s].key == k) return slots[s].head;
+      s = (s + 1) & mask;
+    }
+    return -1;
+  }
 };
 
 // ---------------------------------------------------------------- scans ---
 
-class TableScanOp : public Operator {
+// Table scan and spool scan share the same shape: iterate a backing
+// std::vector<Row>, apply an optional residual filter, remap to the output
+// layout. The batched path evaluates the filter over a window of rows at a
+// time (EvalPredicateBatch) and gathers survivors into the output batch.
+class ScanBase : public Operator {
  public:
-  TableScanOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node), ctx_(ctx) {}
+  ScanBase(const PhysicalNode& node, ExecContext* ctx)
+      : Operator(ctx), node_(node) {}
 
-  void Open() override {
-    Layout storage_layout(node_.input_cols);
+  ScanSource* AsScanSource() override {
+    if (source_ == nullptr) return nullptr;  // not opened yet
+    source_info_.rows = source_;
+    source_info_.positions = use_positions_ ? &positions_ : nullptr;
+    source_info_.filter = bound_filter_;
+    source_info_.storage = storage_layout_;
+    source_info_.count_spool_reads = count_spool_reads_;
+    source_info_.stats = stats_;
+    return &source_info_;
+  }
+
+ protected:
+  // Subclasses set these in OpenImpl.
+  const std::vector<Row>* source_ = nullptr;  // backing rows
+  std::vector<int64_t> positions_;            // index-scan row positions
+  bool use_positions_ = false;
+  bool count_spool_reads_ = false;
+  ExprPtr bound_filter_;
+  std::vector<int> map_;
+  bool identity_map_ = false;
+  int64_t cursor_ = 0;
+
+  void OpenScan(const Layout& storage_layout) {
+    storage_layout_ = storage_layout;
     bound_filter_ = node_.filter ? BindExpr(node_.filter, storage_layout)
                                  : nullptr;
     map_ = MappingTo(storage_layout, node_.output);
+    identity_map_ = IsIdentityMapping(map_, storage_layout.size());
+    cursor_ = 0;
+  }
+
+  bool NextImpl(Row* out) override {
+    const std::vector<Row>& rows = *source_;
+    int64_t limit = use_positions_ ? static_cast<int64_t>(positions_.size())
+                                   : static_cast<int64_t>(rows.size());
+    while (cursor_ < limit) {
+      const Row& row = use_positions_ ? rows[positions_[cursor_]]
+                                      : rows[cursor_];
+      ++cursor_;
+      ++ctx_->rows_scanned;
+      if (count_spool_reads_) ++ctx_->spool_rows_read;
+      if (bound_filter_ != nullptr && !EvalPredicate(bound_filter_, row)) {
+        continue;
+      }
+      *out = ApplyMapping(row, map_);
+      return true;
+    }
+    return false;
+  }
+
+  bool NextBatchImpl(RowBatch* out) override {
+    const std::vector<Row>& rows = *source_;
+    int64_t limit = use_positions_ ? static_cast<int64_t>(positions_.size())
+                                   : static_cast<int64_t>(rows.size());
+    while (out->empty() && cursor_ < limit) {
+      int64_t window =
+          std::min<int64_t>(out->capacity() - out->size(), limit - cursor_);
+      ctx_->rows_scanned += window;
+      if (count_spool_reads_) ctx_->spool_rows_read += window;
+      keep_.assign(static_cast<size_t>(window), 1);
+      if (bound_filter_ != nullptr) {
+        if (use_positions_) {
+          for (int64_t i = 0; i < window; ++i) {
+            keep_[i] = EvalPredicate(bound_filter_, rows[positions_[cursor_ + i]]);
+          }
+        } else {
+          EvalPredicateBatch(bound_filter_, rows.data() + cursor_,
+                             static_cast<int>(window), keep_.data());
+        }
+      }
+      for (int64_t i = 0; i < window; ++i) {
+        if (!keep_[i]) continue;
+        const Row& row =
+            use_positions_ ? rows[positions_[cursor_ + i]] : rows[cursor_ + i];
+        out->AppendMapped(row, map_);
+      }
+      cursor_ += window;
+    }
+    return !out->empty();
+  }
+
+  const PhysicalNode& node_;
+
+ private:
+  Layout storage_layout_;
+  ScanSource source_info_;
+  std::vector<uint8_t> keep_;
+};
+
+class TableScanOp : public ScanBase {
+ public:
+  using ScanBase::ScanBase;
+
+  void OpenImpl() override {
+    Layout storage_layout(node_.input_cols);
+    OpenScan(storage_layout);
+    source_ = &node_.table->rows();
     if (node_.kind == PhysOpKind::kIndexScan) {
       const SortedIndex* idx = node_.table->GetIndex(node_.index_range.column_idx);
       CHECK(idx != nullptr) << "missing index on " << node_.table->name();
@@ -69,74 +289,22 @@ class TableScanOp : public Operator {
                                     node_.table->rows());
       use_positions_ = true;
     }
-    cursor_ = 0;
   }
-
-  bool Next(Row* out) override {
-    const std::vector<Row>& rows = node_.table->rows();
-    int64_t limit = use_positions_ ? static_cast<int64_t>(positions_.size())
-                                   : static_cast<int64_t>(rows.size());
-    while (cursor_ < limit) {
-      const Row& row = use_positions_ ? rows[positions_[cursor_]]
-                                      : rows[cursor_];
-      ++cursor_;
-      ++ctx_->rows_scanned;
-      if (bound_filter_ != nullptr && !EvalPredicate(bound_filter_, row)) {
-        continue;
-      }
-      *out = ApplyMapping(row, map_);
-      return true;
-    }
-    return false;
-  }
-
- private:
-  const PhysicalNode& node_;
-  ExecContext* ctx_;
-  ExprPtr bound_filter_;
-  std::vector<int> map_;
-  std::vector<int64_t> positions_;
-  bool use_positions_ = false;
-  int64_t cursor_ = 0;
 };
 
-class SpoolScanOp : public Operator {
+class SpoolScanOp : public ScanBase {
  public:
-  SpoolScanOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node), ctx_(ctx) {}
+  using ScanBase::ScanBase;
 
-  void Open() override {
-    work_table_ = ctx_->work_tables->Get(node_.cse_id);
-    CHECK(work_table_ != nullptr)
+  void OpenImpl() override {
+    const WorkTable* work_table = ctx_->work_tables->Get(node_.cse_id);
+    CHECK(work_table != nullptr)
         << "CSE " << node_.cse_id << " was not materialized before use";
     Layout storage_layout(node_.input_cols);
-    bound_filter_ = node_.filter ? BindExpr(node_.filter, storage_layout)
-                                 : nullptr;
-    map_ = MappingTo(storage_layout, node_.output);
-    cursor_ = 0;
+    OpenScan(storage_layout);
+    source_ = &work_table->rows();
+    count_spool_reads_ = true;
   }
-
-  bool Next(Row* out) override {
-    const std::vector<Row>& rows = work_table_->rows();
-    while (cursor_ < static_cast<int64_t>(rows.size())) {
-      const Row& row = rows[cursor_++];
-      ++ctx_->rows_scanned;
-      if (bound_filter_ != nullptr && !EvalPredicate(bound_filter_, row)) {
-        continue;
-      }
-      *out = ApplyMapping(row, map_);
-      return true;
-    }
-    return false;
-  }
-
- private:
-  const PhysicalNode& node_;
-  ExecContext* ctx_;
-  const WorkTable* work_table_ = nullptr;
-  ExprPtr bound_filter_;
-  std::vector<int> map_;
-  int64_t cursor_ = 0;
 };
 
 // --------------------------------------------------------------- filter ---
@@ -144,16 +312,17 @@ class SpoolScanOp : public Operator {
 class FilterOp : public Operator {
  public:
   FilterOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+      : Operator(ctx), node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
 
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
     Layout child_layout = node_.children[0]->output;
     bound_pred_ = BindExpr(node_.filter, child_layout);
     map_ = MappingTo(child_layout, node_.output);
+    identity_map_ = IsIdentityMapping(map_, child_layout.size());
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     Row row;
     while (child_->Next(&row)) {
       if (EvalPredicate(bound_pred_, row)) {
@@ -164,32 +333,105 @@ class FilterOp : public Operator {
     return false;
   }
 
+  bool NextBatchImpl(RowBatch* out) override {
+    while (out->empty()) {
+      if (!child_->NextBatch(&input_)) return false;
+      int n = input_.size();
+      keep_.assign(static_cast<size_t>(n), 1);
+      EvalPredicateBatch(bound_pred_, &input_.row(0), n, keep_.data());
+      for (int i = 0; i < n; ++i) {
+        if (!keep_[i]) continue;
+        if (identity_map_) {
+          out->AppendMove(std::move(input_.row(i)));
+        } else {
+          out->AppendMapped(input_.row(i), map_);
+        }
+      }
+    }
+    return true;
+  }
+
  private:
   const PhysicalNode& node_;
   std::unique_ptr<Operator> child_;
   ExprPtr bound_pred_;
   std::vector<int> map_;
+  bool identity_map_ = false;
+  RowBatch input_;
+  std::vector<uint8_t> keep_;
 };
 
 // ---------------------------------------------------------------- joins ---
 
-// Hash join: builds on the right child, probes with the left.
+// Hash join: builds on the right child, probes with the left. Batched
+// probes hash the key columns in place and look the build table up through
+// RowKeyRef, so no key row is allocated per probe. When the probe child is
+// a scan over stable storage (ScanSource), the probe fuses with it: windows
+// of the backing rows are filtered and probed in place, skipping the scan's
+// per-row output copies entirely.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node),
+      : Operator(ctx),
+        node_(node),
         left_(BuildOperator(*node.children[0], ctx)),
         right_(BuildOperator(*node.children[1], ctx)) {}
 
-  void Open() override {
-    const Layout& left_layout = node_.children[0]->output;
+  void OpenImpl() override {
     const Layout& right_layout = node_.children[1]->output;
+    right_key_idx_.clear();
+    for (const auto& [l, r] : node_.join_keys) {
+      int ri = right_layout.IndexOf(r);
+      CHECK(ri >= 0) << "join key missing from build child layout";
+      right_key_idx_.push_back(ri);
+    }
+    build_.clear();
+    build_rows_.clear();
+    std::vector<Row> build_rows;
+    DrainChild(right_.get(), &build_rows);
+    // The batch engine specializes the common single integer-backed join key
+    // (every TPC-H equi-join): a flat int64 table over the drained rows
+    // skips the variant dispatch of Value::Hash/Compare and all per-row
+    // allocation on both build and probe. Doubles and strings keep the
+    // general RowKey table, as does row mode (kept as the plain reference
+    // implementation).
+    int_key_ = ctx_->mode == ExecMode::kBatch && right_key_idx_.size() == 1;
+    if (int_key_) {
+      for (const Row& row : build_rows) {
+        const Value& v = row[right_key_idx_[0]];
+        if (!v.is_null() && (v.type() == DataType::kDouble ||
+                             v.type() == DataType::kString)) {
+          int_key_ = false;
+          break;
+        }
+      }
+    }
+    if (int_key_) {
+      build_rows_ = std::move(build_rows);
+      table_.Build(build_rows_, right_key_idx_[0]);
+    } else {
+      build_.reserve(build_rows.size());
+      for (Row& row : build_rows) {
+        if (HasNullAt(row, right_key_idx_)) continue;  // nulls never join
+        RowKey key(ApplyMapping(row, right_key_idx_));
+        build_[std::move(key)].push_back(std::move(row));
+      }
+    }
+
+    left_->Open();
+    // Scan fusion: probe the left scan's backing rows in place. Probe-side
+    // key indexes, the residual, and the output map then bind against the
+    // scan's storage layout instead of its (never materialized) output.
+    fused_ = ctx_->mode == ExecMode::kBatch ? left_->AsScanSource() : nullptr;
+    if (fused_ != nullptr) fused_->stats->fused = true;
+    const Layout& left_layout =
+        fused_ != nullptr ? fused_->storage : node_.children[0]->output;
+
+    left_key_idx_.clear();
     for (const auto& [l, r] : node_.join_keys) {
       int li = left_layout.IndexOf(l);
-      int ri = right_layout.IndexOf(r);
-      CHECK(li >= 0 && ri >= 0) << "join key missing from child layout";
+      CHECK(li >= 0) << "join key missing from probe child layout";
       left_key_idx_.push_back(li);
-      right_key_idx_.push_back(ri);
     }
     // Concatenated layout for residual evaluation and output mapping.
     std::vector<ColId> concat = left_layout.cols();
@@ -200,20 +442,40 @@ class HashJoinOp : public Operator {
                           ? BindExpr(node_.join_residual, concat_layout)
                           : nullptr;
     map_ = MappingTo(concat_layout, node_.output);
-
-    right_->Open();
-    Row row;
-    while (right_->Next(&row)) {
-      RowKey key{ExtractKey(row, right_key_idx_)};
-      if (HasNullKey(key)) continue;  // nulls never join
-      build_[std::move(key)].push_back(std::move(row));
-      row = Row();
+    left_width_ = left_layout.size();
+    // Split the output map into per-side copy lists so the no-residual emit
+    // path copies straight from the source rows, without a per-column
+    // side branch.
+    out_left_.clear();
+    out_right_.clear();
+    for (size_t j = 0; j < map_.size(); ++j) {
+      if (map_[j] < left_width_) {
+        out_left_.push_back({static_cast<int>(j), map_[j]});
+      } else {
+        out_right_.push_back({static_cast<int>(j), map_[j] - left_width_});
+      }
     }
-    left_->Open();
+
     matches_ = nullptr;
+    match_idx_ = 0;
+    chain_ = -1;
+    has_last_ = false;
+    cur_left_ = nullptr;
+    probe_.clear();
+    probe_idx_ = 0;
+    fcursor_ = 0;
+    win_start_ = 0;
+    win_size_ = 0;
+    win_idx_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
+    // Parents lacking a batch implementation (driven through the default
+    // NextBatch adapter) still pull row-wise while the tree runs in batch
+    // mode. OpenImpl's batch-mode bindings (fused storage layout, int64
+    // table) are only valid for the batch machinery, so route such pulls
+    // through it one row at a time.
+    if (ctx_->mode == ExecMode::kBatch) return NextRowViaBatch(out);
     while (true) {
       if (matches_ != nullptr && match_idx_ < matches_->size()) {
         const Row& right_row = (*matches_)[match_idx_++];
@@ -227,29 +489,227 @@ class HashJoinOp : public Operator {
         return true;
       }
       if (!left_->Next(&current_left_)) return false;
-      RowKey key{ExtractKey(current_left_, left_key_idx_)};
-      if (HasNullKey(key)) {
+      if (HasNullAt(current_left_, left_key_idx_)) {
         matches_ = nullptr;
         continue;
       }
-      auto it = build_.find(key);
+      RowKeyRef ref{&current_left_, &left_key_idx_,
+                    HashRowAt(current_left_, left_key_idx_)};
+      auto it = build_.find(ref);
       matches_ = it == build_.end() ? nullptr : &it->second;
       match_idx_ = 0;
     }
   }
 
- private:
-  static Row ExtractKey(const Row& row, const std::vector<int>& idx) {
-    Row key;
-    key.reserve(idx.size());
-    for (int i : idx) key.push_back(row[i]);
-    return key;
-  }
-  static bool HasNullKey(const RowKey& key) {
-    for (const Value& v : key.values) {
-      if (v.is_null()) return true;
+  bool NextBatchImpl(RowBatch* out) override {
+    while (!out->full()) {
+      // Emit the full match list/chain for the current probe row first (may
+      // overshoot capacity slightly; bounded by one match list).
+      if (chain_ >= 0) {
+        do {
+          Emit(*cur_left_, build_rows_[static_cast<size_t>(chain_)], out);
+          chain_ = table_.next[static_cast<size_t>(chain_)];
+        } while (chain_ >= 0);
+        continue;
+      }
+      if (matches_ != nullptr && match_idx_ < matches_->size()) {
+        while (match_idx_ < matches_->size()) {
+          Emit(*cur_left_, (*matches_)[match_idx_++], out);
+        }
+        continue;
+      }
+      matches_ = nullptr;
+      const Row* probe = fused_ != nullptr ? FusedAdvance() : BatchAdvance();
+      if (probe == nullptr) break;
+      if (int_key_) {
+        // FusedAdvance extracted the key already; BatchAdvance did not.
+        if (fused_ == nullptr &&
+            !IntValueKey((*probe)[left_key_idx_[0]], &probe_key_)) {
+          continue;
+        }
+        chain_ = FindCached(probe_key_);
+        if (chain_ >= 0) cur_left_ = probe;
+      } else {
+        RowKeyRef ref{probe, &left_key_idx_, HashRowAt(*probe, left_key_idx_)};
+        auto it = build_.find(ref);
+        if (it != build_.end()) {
+          matches_ = &it->second;
+          match_idx_ = 0;
+          cur_left_ = probe;
+        }
+      }
     }
-    return false;
+    return !out->empty();
+  }
+
+ private:
+  // Row-wise pull driven by a batch-mode parent without a batch
+  // implementation: same advance/probe/emit machinery as NextBatchImpl,
+  // yielding one row per call.
+  bool NextRowViaBatch(Row* out) {
+    while (true) {
+      if (chain_ >= 0) {
+        const Row& right = build_rows_[static_cast<size_t>(chain_)];
+        chain_ = table_.next[static_cast<size_t>(chain_)];
+        if (EmitRow(*cur_left_, right, out)) return true;
+        continue;
+      }
+      if (matches_ != nullptr && match_idx_ < matches_->size()) {
+        if (EmitRow(*cur_left_, (*matches_)[match_idx_++], out)) return true;
+        continue;
+      }
+      matches_ = nullptr;
+      const Row* probe = fused_ != nullptr ? FusedAdvance() : BatchAdvance();
+      if (probe == nullptr) return false;
+      if (int_key_) {
+        if (fused_ == nullptr &&
+            !IntValueKey((*probe)[left_key_idx_[0]], &probe_key_)) {
+          continue;
+        }
+        chain_ = FindCached(probe_key_);
+        if (chain_ >= 0) cur_left_ = probe;
+      } else {
+        RowKeyRef ref{probe, &left_key_idx_, HashRowAt(*probe, left_key_idx_)};
+        auto it = build_.find(ref);
+        if (it != build_.end()) {
+          matches_ = &it->second;
+          match_idx_ = 0;
+          cur_left_ = probe;
+        }
+      }
+    }
+  }
+
+  // Row-interface counterpart of Emit: writes the joined row to `out`;
+  // false iff the residual rejected it.
+  bool EmitRow(const Row& left_row, const Row& right_row, Row* out) {
+    if (bound_residual_ == nullptr) {
+      out->resize(map_.size());
+      for (const OutCopy& c : out_left_) (*out)[c.dst] = left_row[c.src];
+      for (const OutCopy& c : out_right_) (*out)[c.dst] = right_row[c.src];
+      return true;
+    }
+    concat_.resize(static_cast<size_t>(left_width_) + right_row.size());
+    for (int i = 0; i < left_width_; ++i) concat_[i] = left_row[i];
+    for (size_t i = 0; i < right_row.size(); ++i) {
+      concat_[left_width_ + i] = right_row[i];
+    }
+    if (!EvalPredicate(bound_residual_, concat_)) return false;
+    *out = ApplyMapping(concat_, map_);
+    return true;
+  }
+
+  // Extracts the int64 fast-path key of a non-null value, mirroring
+  // Value::Compare's cross-type semantics: an integral double equals the
+  // same int64; anything else cannot match an integer key.
+  static bool IntValueKey(const Value& v, int64_t* key) {
+    if (v.type() == DataType::kDouble) {
+      double d = v.AsDouble();
+      if (d != std::floor(d) || std::abs(d) >= 9.0e18) return false;
+      *key = static_cast<int64_t>(d);
+    } else if (v.type() == DataType::kString) {
+      return false;
+    } else {
+      *key = v.AsInt64();
+    }
+    return true;
+  }
+
+  // Next probe row pulled through the child's batch interface; nullptr at
+  // end of stream. Null-key rows never join and are skipped here.
+  const Row* BatchAdvance() {
+    while (true) {
+      ++probe_idx_;
+      if (probe_idx_ >= probe_.size()) {
+        if (!left_->NextBatch(&probe_)) return nullptr;
+        probe_idx_ = 0;
+      }
+      const Row& row = probe_.row(probe_idx_);
+      if (!HasNullAt(row, left_key_idx_)) return &row;
+    }
+  }
+
+  // Next probe row read in place from the fused scan's backing storage:
+  // windows of the source are filtered with the scan's own predicate and
+  // surviving rows are probed without ever being copied. Null join keys are
+  // folded into the window mask (nulls never join) and, on the int64 fast
+  // path, keys are extracted into key_buf_ in the same pass, so the per-row
+  // resume loop only tests the mask. Scan counters are credited per window,
+  // exactly as the scan itself would credit them.
+  const Row* FusedAdvance() {
+    const std::vector<Row>& rows = *fused_->rows;
+    const std::vector<int64_t>* pos = fused_->positions;
+    const int64_t limit = pos != nullptr ? static_cast<int64_t>(pos->size())
+                                         : static_cast<int64_t>(rows.size());
+    while (true) {
+      while (win_idx_ < win_size_) {
+        int i = win_idx_++;
+        if (!keep_[i]) continue;
+        if (int_key_) probe_key_ = key_buf_[i];
+        return pos != nullptr ? &rows[(*pos)[win_start_ + i]]
+                              : &rows[win_start_ + i];
+      }
+      if (fcursor_ >= limit) return nullptr;
+      win_start_ = fcursor_;
+      win_size_ = static_cast<int>(
+          std::min<int64_t>(RowBatch::kDefaultCapacity, limit - fcursor_));
+      fcursor_ += win_size_;
+      ctx_->rows_scanned += win_size_;
+      if (fused_->count_spool_reads) ctx_->spool_rows_read += win_size_;
+      keep_.assign(static_cast<size_t>(win_size_), 1);
+      if (fused_->filter != nullptr) {
+        if (pos != nullptr) {
+          for (int i = 0; i < win_size_; ++i) {
+            keep_[i] =
+                EvalPredicate(fused_->filter, rows[(*pos)[win_start_ + i]]);
+          }
+        } else {
+          EvalPredicateBatch(fused_->filter, rows.data() + win_start_,
+                             win_size_, keep_.data());
+        }
+      }
+      if (int_key_) key_buf_.resize(static_cast<size_t>(win_size_));
+      int64_t kept = 0;
+      for (int i = 0; i < win_size_; ++i) {
+        if (!keep_[i]) continue;
+        const Row& row = pos != nullptr ? rows[(*pos)[win_start_ + i]]
+                                        : rows[win_start_ + i];
+        if (int_key_) {
+          const Value& v = row[left_key_idx_[0]];
+          if (v.is_null() || !IntValueKey(v, &key_buf_[i])) {
+            keep_[i] = 0;
+            continue;
+          }
+        } else if (HasNullAt(row, left_key_idx_)) {
+          keep_[i] = 0;
+          continue;
+        }
+        ++kept;
+      }
+      fused_->stats->rows_out += kept;
+      stats_->rows_in += kept;
+      win_idx_ = 0;
+    }
+  }
+
+  // Appends the join of (left_row, right_row) to `out`. Without a residual
+  // the output columns copy straight from their source side; with one the
+  // concatenated row is materialized first (scratch buffer reused).
+  void Emit(const Row& left_row, const Row& right_row, RowBatch* out) {
+    if (bound_residual_ == nullptr) {
+      Row& dst = out->AppendSlot();
+      dst.resize(map_.size());
+      for (const OutCopy& c : out_left_) dst[c.dst] = left_row[c.src];
+      for (const OutCopy& c : out_right_) dst[c.dst] = right_row[c.src];
+      return;
+    }
+    concat_.resize(static_cast<size_t>(left_width_) + right_row.size());
+    for (int i = 0; i < left_width_; ++i) concat_[i] = left_row[i];
+    for (size_t i = 0; i < right_row.size(); ++i) {
+      concat_[left_width_ + i] = right_row[i];
+    }
+    if (!EvalPredicate(bound_residual_, concat_)) return;
+    out->AppendMapped(concat_, map_);
   }
 
   const PhysicalNode& node_;
@@ -259,8 +719,49 @@ class HashJoinOp : public Operator {
   std::vector<int> right_key_idx_;
   ExprPtr bound_residual_;
   std::vector<int> map_;
-  std::unordered_map<RowKey, std::vector<Row>, RowKeyHash> build_;
+  struct OutCopy {
+    int dst;  // output column
+    int src;  // index on the source side
+  };
+  std::vector<OutCopy> out_left_;   // output columns copied from the left
+  std::vector<OutCopy> out_right_;  // output columns copied from the right
+  int left_width_ = 0;
+  RowKeyMap<std::vector<Row>> build_;
+  // Batch-mode specialization for a single integer-backed join key.
+  bool int_key_ = false;
+  std::vector<Row> build_rows_;  // build rows owned by the fast path
+  IntKeyTable table_;
+  int32_t chain_ = -1;           // next build-row index matching cur_left_
+  int64_t probe_key_ = 0;        // int64 key of the current probe row
+  std::vector<int64_t> key_buf_;  // per-window extracted probe keys
+  // Single-entry probe cache: clustered inputs (e.g. lineitem ordered by
+  // l_orderkey) repeat the same key on consecutive probes.
+  bool has_last_ = false;
+  int64_t last_key_ = 0;
+  int32_t last_head_ = -1;
+
+  int32_t FindCached(int64_t key) {
+    if (!has_last_ || key != last_key_) {
+      has_last_ = true;
+      last_key_ = key;
+      last_head_ = table_.Find(key);
+    }
+    return last_head_;
+  }
+  // Row-at-a-time probe state.
   Row current_left_;
+  // Batched probe state.
+  RowBatch probe_;
+  int probe_idx_ = 0;
+  const Row* cur_left_ = nullptr;  // probe row owning `matches_`
+  // Fused-scan probe state (filtered window over the scan's backing rows).
+  ScanSource* fused_ = nullptr;
+  int64_t fcursor_ = 0;
+  int64_t win_start_ = 0;
+  int win_size_ = 0;
+  int win_idx_ = 0;
+  std::vector<uint8_t> keep_;
+  Row concat_;  // reusable concat scratch row (residual path)
   const std::vector<Row>* matches_ = nullptr;
   size_t match_idx_ = 0;
 };
@@ -269,11 +770,12 @@ class HashJoinOp : public Operator {
 class NlJoinOp : public Operator {
  public:
   NlJoinOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node),
+      : Operator(ctx),
+        node_(node),
         left_(BuildOperator(*node.children[0], ctx)),
         right_(BuildOperator(*node.children[1], ctx)) {}
 
-  void Open() override {
+  void OpenImpl() override {
     const Layout& left_layout = node_.children[0]->output;
     const Layout& right_layout = node_.children[1]->output;
     std::vector<ColId> concat = left_layout.cols();
@@ -284,16 +786,14 @@ class NlJoinOp : public Operator {
                                 : nullptr;
     map_ = MappingTo(concat_layout, node_.output);
 
-    right_->Open();
-    Row row;
     right_rows_.clear();
-    while (right_->Next(&row)) right_rows_.push_back(std::move(row));
+    DrainChild(right_.get(), &right_rows_);
     left_->Open();
     have_left_ = false;
     right_idx_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (true) {
       if (!have_left_) {
         if (!left_->Next(&current_left_)) return false;
@@ -332,13 +832,16 @@ class NlJoinOp : public Operator {
 class MergeJoinOp : public Operator {
  public:
   MergeJoinOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node),
+      : Operator(ctx),
+        node_(node),
         left_(BuildOperator(*node.children[0], ctx)),
         right_(BuildOperator(*node.children[1], ctx)) {}
 
-  void Open() override {
+  void OpenImpl() override {
     const Layout& left_layout = node_.children[0]->output;
     const Layout& right_layout = node_.children[1]->output;
+    left_key_idx_.clear();
+    right_key_idx_.clear();
     for (const auto& [l, r] : node_.join_keys) {
       int li = left_layout.IndexOf(l);
       int ri = right_layout.IndexOf(r);
@@ -355,17 +858,16 @@ class MergeJoinOp : public Operator {
                           : nullptr;
     map_ = MappingTo(concat_layout, node_.output);
 
-    auto drain_sorted = [](Operator* op, const std::vector<int>& keys,
-                           std::vector<Row>* out) {
-      op->Open();
-      Row row;
-      while (op->Next(&row)) {
-        // Null keys never join; drop them up front.
-        bool has_null = false;
-        for (int k : keys) has_null |= row[k].is_null();
-        if (!has_null) out->push_back(std::move(row));
-        row = Row();
-      }
+    auto drain_sorted = [this](Operator* op, const std::vector<int>& keys,
+                               std::vector<Row>* out) {
+      out->clear();
+      DrainChild(op, out);
+      // Null keys never join; drop them up front.
+      out->erase(std::remove_if(out->begin(), out->end(),
+                                [&keys](const Row& r) {
+                                  return HasNullAt(r, keys);
+                                }),
+                 out->end());
       std::sort(out->begin(), out->end(),
                 [&keys](const Row& a, const Row& b) {
                   for (int k : keys) {
@@ -375,15 +877,13 @@ class MergeJoinOp : public Operator {
                   return false;
                 });
     };
-    left_rows_.clear();
-    right_rows_.clear();
     drain_sorted(left_.get(), left_key_idx_, &left_rows_);
     drain_sorted(right_.get(), right_key_idx_, &right_rows_);
     li_ = ri_ = 0;
     range_li_ = range_lend_ = range_ri_ = range_rend_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (true) {
       // Emit from the current equal-key rectangle.
       while (range_li_ < range_lend_) {
@@ -457,15 +957,16 @@ class MergeJoinOp : public Operator {
 
 // Index nested-loop join: for every outer row, probes the inner base
 // table's sorted index at the join-key value; inner local predicates and
-// the residual are applied per match.
+// the residual are applied per match. Row-at-a-time only (chosen for
+// selective plans); batch mode uses the default adapter.
 class IndexNlJoinOp : public Operator {
  public:
   IndexNlJoinOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node),
-        ctx_(ctx),
+      : Operator(ctx),
+        node_(node),
         outer_(BuildOperator(*node.children[0], ctx)) {}
 
-  void Open() override {
+  void OpenImpl() override {
     const Layout& outer_layout = node_.children[0]->output;
     CHECK(node_.join_keys.size() == 1);
     outer_key_idx_ = outer_layout.IndexOf(node_.join_keys[0].first);
@@ -489,7 +990,7 @@ class IndexNlJoinOp : public Operator {
     matches_.clear();
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (true) {
       while (match_idx_ < matches_.size()) {
         const Row& inner = node_.table->rows()[matches_[match_idx_++]];
@@ -519,7 +1020,6 @@ class IndexNlJoinOp : public Operator {
 
  private:
   const PhysicalNode& node_;
-  ExecContext* ctx_;
   std::unique_ptr<Operator> outer_;
   int outer_key_idx_ = -1;
   const SortedIndex* index_ = nullptr;
@@ -536,11 +1036,18 @@ class IndexNlJoinOp : public Operator {
 class HashAggOp : public Operator {
  public:
   HashAggOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+      : Operator(ctx), node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
 
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
-    const Layout& child_layout = node_.children[0]->output;
+    // Scan fusion: accumulate straight off the child scan's backing rows
+    // (batch mode only); group keys and aggregate arguments then bind
+    // against the scan's storage layout instead of its output layout.
+    ScanSource* fused =
+        ctx_->mode == ExecMode::kBatch ? child_->AsScanSource() : nullptr;
+    if (fused != nullptr) fused->stats->fused = true;
+    const Layout& child_layout =
+        fused != nullptr ? fused->storage : node_.children[0]->output;
     group_idx_.clear();
     for (ColId c : node_.group_cols) {
       int idx = child_layout.IndexOf(c);
@@ -548,8 +1055,15 @@ class HashAggOp : public Operator {
       group_idx_.push_back(idx);
     }
     bound_args_.clear();
+    arg_idx_.clear();
     for (const AggregateItem& a : node_.aggs) {
       bound_args_.push_back(a.arg ? BindExpr(a.arg, child_layout) : nullptr);
+      // Plain column arguments (the common case) are read straight from the
+      // row, skipping the EvalExpr dispatch and its by-value return.
+      const ExprPtr& b = bound_args_.back();
+      arg_idx_.push_back(b != nullptr && b->kind == ExprKind::kBoundColumn
+                             ? b->bound_index
+                             : -1);
     }
     // Result layout: group cols then agg outputs.
     std::vector<ColId> natural = node_.group_cols;
@@ -557,24 +1071,17 @@ class HashAggOp : public Operator {
     map_ = MappingTo(Layout(natural), node_.output);
 
     // Aggregate everything up front.
-    std::unordered_map<RowKey, std::vector<AggAccumulator>, RowKeyHash> groups;
-    Row row;
-    while (child_->Next(&row)) {
-      RowKey key{Row()};
-      key.values.reserve(group_idx_.size());
-      for (int i : group_idx_) key.values.push_back(row[i]);
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) {
-        it->second.reserve(node_.aggs.size());
-        for (const AggregateItem& a : node_.aggs) {
-          it->second.emplace_back(a.fn);
-        }
+    RowKeyMap<std::vector<AggAccumulator>> groups;
+    if (fused != nullptr) {
+      FusedAccumulate(fused, &groups);
+    } else if (ctx_->mode == ExecMode::kBatch) {
+      RowBatch batch;
+      while (child_->NextBatch(&batch)) {
+        for (int i = 0; i < batch.size(); ++i) Accumulate(batch.row(i), &groups);
       }
-      for (size_t i = 0; i < node_.aggs.size(); ++i) {
-        Value v = bound_args_[i] ? EvalExpr(bound_args_[i], row)
-                                 : Value::Int64(1);  // COUNT(*)
-        it->second[i].Update(v);
-      }
+    } else {
+      Row row;
+      while (child_->Next(&row)) Accumulate(row, &groups);
     }
     results_.clear();
     // Scalar aggregation (no group cols) over empty input yields one row.
@@ -596,13 +1103,83 @@ class HashAggOp : public Operator {
     cursor_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (cursor_ >= results_.size()) return false;
     *out = results_[cursor_++];
     return true;
   }
 
+  bool NextBatchImpl(RowBatch* out) override {
+    while (!out->full() && cursor_ < results_.size()) {
+      out->AppendMove(std::move(results_[cursor_++]));
+    }
+    return !out->empty();
+  }
+
  private:
+  // Accumulates straight off a fused scan's backing rows: windows are
+  // filtered with the scan's own predicate and surviving rows feed the
+  // accumulators in place — the scan's output rows are never materialized.
+  // Scan counters are credited exactly as the scan itself would.
+  void FusedAccumulate(ScanSource* src,
+                       RowKeyMap<std::vector<AggAccumulator>>* groups) {
+    const std::vector<Row>& rows = *src->rows;
+    const std::vector<int64_t>* pos = src->positions;
+    const int64_t limit = pos != nullptr ? static_cast<int64_t>(pos->size())
+                                         : static_cast<int64_t>(rows.size());
+    std::vector<uint8_t> keep;
+    for (int64_t start = 0; start < limit;) {
+      int window = static_cast<int>(
+          std::min<int64_t>(RowBatch::kDefaultCapacity, limit - start));
+      ctx_->rows_scanned += window;
+      if (src->count_spool_reads) ctx_->spool_rows_read += window;
+      keep.assign(static_cast<size_t>(window), 1);
+      if (src->filter != nullptr) {
+        if (pos != nullptr) {
+          for (int i = 0; i < window; ++i) {
+            keep[i] = EvalPredicate(src->filter, rows[(*pos)[start + i]]);
+          }
+        } else {
+          EvalPredicateBatch(src->filter, rows.data() + start, window,
+                             keep.data());
+        }
+      }
+      for (int i = 0; i < window; ++i) {
+        if (!keep[i]) continue;
+        const Row& row =
+            pos != nullptr ? rows[(*pos)[start + i]] : rows[start + i];
+        ++src->stats->rows_out;
+        ++stats_->rows_in;
+        Accumulate(row, groups);
+      }
+      start += window;
+    }
+  }
+
+  // Group lookup probes with a RowKeyRef (no key extraction); the key row
+  // is only materialized for new groups.
+  void Accumulate(const Row& row, RowKeyMap<std::vector<AggAccumulator>>* groups) {
+    RowKeyRef ref{&row, &group_idx_, HashRowAt(row, group_idx_)};
+    auto it = groups->find(ref);
+    if (it == groups->end()) {
+      RowKey key(ApplyMapping(row, group_idx_));
+      it = groups->try_emplace(std::move(key)).first;
+      it->second.reserve(node_.aggs.size());
+      for (const AggregateItem& a : node_.aggs) {
+        it->second.emplace_back(a.fn);
+      }
+    }
+    for (size_t i = 0; i < node_.aggs.size(); ++i) {
+      if (arg_idx_[i] >= 0) {
+        it->second[i].Update(row[arg_idx_[i]]);
+        continue;
+      }
+      Value v = bound_args_[i] ? EvalExpr(bound_args_[i], row)
+                               : Value::Int64(1);  // COUNT(*)
+      it->second[i].Update(v);
+    }
+  }
+
   static DataType ResultType(const AggregateItem& a) {
     return AggResultType(a.fn,
                          a.arg ? a.arg->type : DataType::kInt64);
@@ -612,6 +1189,7 @@ class HashAggOp : public Operator {
   std::unique_ptr<Operator> child_;
   std::vector<int> group_idx_;
   std::vector<ExprPtr> bound_args_;
+  std::vector<int> arg_idx_;  // column index per agg arg, -1 = general expr
   std::vector<int> map_;
   std::vector<Row> results_;
   size_t cursor_ = 0;
@@ -622,9 +1200,9 @@ class HashAggOp : public Operator {
 class ProjectOp : public Operator {
  public:
   ProjectOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+      : Operator(ctx), node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
 
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
     const Layout& child_layout = node_.children[0]->output;
     bound_.clear();
@@ -634,9 +1212,13 @@ class ProjectOp : public Operator {
       natural.push_back(p.output);
     }
     map_ = MappingTo(Layout(natural), node_.output);
+    // Compose projection + output mapping so the batched path writes each
+    // output column directly (no intermediate natural row).
+    composed_.clear();
+    for (int idx : map_) composed_.push_back(bound_[idx]);
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     Row row;
     if (!child_->Next(&row)) return false;
     Row natural;
@@ -646,19 +1228,34 @@ class ProjectOp : public Operator {
     return true;
   }
 
+  bool NextBatchImpl(RowBatch* out) override {
+    if (!child_->NextBatch(&input_)) return false;
+    for (int i = 0; i < input_.size(); ++i) {
+      const Row& src = input_.row(i);
+      Row& dst = out->AppendSlot();
+      dst.resize(composed_.size());
+      for (size_t j = 0; j < composed_.size(); ++j) {
+        dst[j] = EvalExpr(composed_[j], src);
+      }
+    }
+    return !out->empty();
+  }
+
  private:
   const PhysicalNode& node_;
   std::unique_ptr<Operator> child_;
   std::vector<ExprPtr> bound_;
   std::vector<int> map_;
+  std::vector<ExprPtr> composed_;
+  RowBatch input_;
 };
 
 class SortOp : public Operator {
  public:
   SortOp(const PhysicalNode& node, ExecContext* ctx)
-      : node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
+      : Operator(ctx), node_(node), child_(BuildOperator(*node.children[0], ctx)) {}
 
-  void Open() override {
+  void OpenImpl() override {
     child_->Open();
     const Layout& child_layout = node_.children[0]->output;
     key_idx_.clear();
@@ -669,8 +1266,7 @@ class SortOp : public Operator {
     }
     map_ = MappingTo(child_layout, node_.output);
     rows_.clear();
-    Row row;
-    while (child_->Next(&row)) rows_.push_back(std::move(row));
+    DrainChild(child_.get(), &rows_);
     std::stable_sort(rows_.begin(), rows_.end(),
                      [this](const Row& a, const Row& b) {
                        for (size_t i = 0; i < key_idx_.size(); ++i) {
@@ -689,10 +1285,17 @@ class SortOp : public Operator {
     cursor_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (cursor_ >= rows_.size()) return false;
     *out = ApplyMapping(rows_[cursor_++], map_);
     return true;
+  }
+
+  bool NextBatchImpl(RowBatch* out) override {
+    while (!out->full() && cursor_ < rows_.size()) {
+      out->AppendMapped(rows_[cursor_++], map_);
+    }
+    return !out->empty();
   }
 
  private:
@@ -706,42 +1309,152 @@ class SortOp : public Operator {
 
 }  // namespace
 
+// ------------------------------------------------------- base machinery ---
+
+OperatorStats* ExecContext::RegisterOp(const char* label) {
+  auto stats = std::make_unique<OperatorStats>();
+  stats->label = label;
+  stats->phase = phase;
+  stats->depth = static_cast<int>(build_stack_.size());
+  stats->parent = build_stack_.empty() ? nullptr : build_stack_.back();
+  OperatorStats* raw = stats.get();
+  op_stats_.push_back(std::move(stats));
+  return raw;
+}
+
+Operator::Operator(ExecContext* ctx) : ctx_(ctx) {
+  // BuildOperator pushed this node's stats before constructing it (and
+  // before its children are built inside the derived constructor).
+  CHECK(!ctx->build_stack_.empty());
+  stats_ = ctx->build_stack_.back();
+}
+
+void Operator::Open() {
+  if (!ctx_->time_operators) {
+    OpenImpl();
+    return;
+  }
+  int64_t t0 = NowNanos();
+  OpenImpl();
+  stats_->open_ns += NowNanos() - t0;
+}
+
+bool Operator::Next(Row* out) {
+  bool ok;
+  if (ctx_->time_operators) {
+    int64_t t0 = NowNanos();
+    ok = NextImpl(out);
+    stats_->next_ns += NowNanos() - t0;
+  } else {
+    ok = NextImpl(out);
+  }
+  if (ok) {
+    ++stats_->rows_out;
+    if (stats_->parent != nullptr) ++stats_->parent->rows_in;
+  }
+  return ok;
+}
+
+bool Operator::NextBatch(RowBatch* out) {
+  out->clear();
+  bool ok;
+  if (ctx_->time_operators) {
+    int64_t t0 = NowNanos();
+    ok = NextBatchImpl(out);
+    stats_->next_ns += NowNanos() - t0;
+  } else {
+    ok = NextBatchImpl(out);
+  }
+  if (ok) {
+    ++stats_->batches;
+    stats_->rows_out += out->size();
+    if (stats_->parent != nullptr) stats_->parent->rows_in += out->size();
+  }
+  return ok;
+}
+
+bool Operator::NextBatchImpl(RowBatch* out) {
+  Row row;
+  while (!out->full()) {
+    if (!NextImpl(&row)) break;
+    out->AppendMove(std::move(row));
+    row = Row();
+  }
+  return !out->empty();
+}
+
+void Operator::DrainChild(Operator* child, std::vector<Row>* out) {
+  child->Open();
+  if (ctx_->mode == ExecMode::kBatch) {
+    RowBatch batch;
+    while (child->NextBatch(&batch)) batch.MoveTo(out);
+  } else {
+    Row row;
+    while (child->Next(&row)) {
+      out->push_back(std::move(row));
+      row = Row();
+    }
+  }
+}
+
 std::unique_ptr<Operator> BuildOperator(const PhysicalNode& node,
                                         ExecContext* ctx) {
+  OperatorStats* stats = ctx->RegisterOp(PhysOpKindName(node.kind));
+  ctx->build_stack_.push_back(stats);
+  std::unique_ptr<Operator> op;
   switch (node.kind) {
     case PhysOpKind::kTableScan:
     case PhysOpKind::kIndexScan:
-      return std::make_unique<TableScanOp>(node, ctx);
+      op = std::make_unique<TableScanOp>(node, ctx);
+      break;
     case PhysOpKind::kSpoolScan:
-      return std::make_unique<SpoolScanOp>(node, ctx);
+      op = std::make_unique<SpoolScanOp>(node, ctx);
+      break;
     case PhysOpKind::kFilter:
-      return std::make_unique<FilterOp>(node, ctx);
+      op = std::make_unique<FilterOp>(node, ctx);
+      break;
     case PhysOpKind::kHashJoin:
-      return std::make_unique<HashJoinOp>(node, ctx);
+      op = std::make_unique<HashJoinOp>(node, ctx);
+      break;
     case PhysOpKind::kMergeJoin:
-      return std::make_unique<MergeJoinOp>(node, ctx);
+      op = std::make_unique<MergeJoinOp>(node, ctx);
+      break;
     case PhysOpKind::kIndexNlJoin:
-      return std::make_unique<IndexNlJoinOp>(node, ctx);
+      op = std::make_unique<IndexNlJoinOp>(node, ctx);
+      break;
     case PhysOpKind::kNlJoin:
-      return std::make_unique<NlJoinOp>(node, ctx);
+      op = std::make_unique<NlJoinOp>(node, ctx);
+      break;
     case PhysOpKind::kHashAgg:
-      return std::make_unique<HashAggOp>(node, ctx);
+      op = std::make_unique<HashAggOp>(node, ctx);
+      break;
     case PhysOpKind::kProject:
-      return std::make_unique<ProjectOp>(node, ctx);
+      op = std::make_unique<ProjectOp>(node, ctx);
+      break;
     case PhysOpKind::kSort:
-      return std::make_unique<SortOp>(node, ctx);
+      op = std::make_unique<SortOp>(node, ctx);
+      break;
     case PhysOpKind::kBatch:
       CHECK(false) << "Batch nodes are executed by the Executor";
   }
-  return nullptr;
+  ctx->build_stack_.pop_back();
+  return op;
 }
 
 std::vector<Row> RunToVector(const PhysicalNode& node, ExecContext* ctx) {
   std::unique_ptr<Operator> op = BuildOperator(node, ctx);
   op->Open();
   std::vector<Row> out;
-  Row row;
-  while (op->Next(&row)) out.push_back(std::move(row));
+  if (ctx->mode == ExecMode::kBatch) {
+    RowBatch batch;
+    while (op->NextBatch(&batch)) batch.MoveTo(&out);
+  } else {
+    Row row;
+    while (op->Next(&row)) {
+      out.push_back(std::move(row));
+      row = Row();
+    }
+  }
   return out;
 }
 

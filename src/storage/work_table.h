@@ -24,6 +24,13 @@ class WorkTable {
 
   void AppendRow(Row row) { rows_.push_back(std::move(row)); }
 
+  // Moves `n` rows into the table with a single capacity reservation (the
+  // batched spool-write path: one call per RowBatch instead of per row).
+  void AppendBatch(Row* rows, int64_t n) {
+    rows_.reserve(rows_.size() + static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) rows_.push_back(std::move(rows[i]));
+  }
+
  private:
   Schema schema_;
   std::vector<Row> rows_;

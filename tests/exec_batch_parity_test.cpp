@@ -1,0 +1,334 @@
+// Row-at-a-time vs. batched execution parity.
+//
+// The two pull interfaces (Next / NextBatch) share operator state and must
+// produce identical results for every plan shape. This suite pins the paths
+// that have real divergence potential:
+//   - fused scans (batch-mode hash join probe / hash agg iterate the scan's
+//     backing storage in place instead of pulling gathered batches),
+//   - the single-int-key hash join fast path (IntKeyTable) vs. the general
+//     RowKey map, including non-integral double and null join keys,
+//   - row pulls *inside* a batch-mode tree: operators without a batch
+//     override (e.g. nested-loop join, index NL join) drive their children
+//     through Next() even when ctx->mode == kBatch, so every batch operator
+//     must also serve its row interface under batch-mode bindings,
+//   - CSE spool write + multi-consumer spool read in both modes,
+//   - empty inputs, empty results, and residual join predicates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/cse_optimizer.h"
+#include "exec/executor.h"
+#include "exec/naive_planner.h"
+#include "expr/column.h"
+#include "logical/query.h"
+#include "sql/binder.h"
+#include "tpch/tpch.h"
+#include "util/rng.h"
+
+namespace subshare {
+namespace {
+
+std::vector<std::string> Canon(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) {
+      if (v.type() == DataType::kDouble && !v.is_null()) {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%.3f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SQL-level parity on TPC-H: optimize once, execute the same plan in both
+// modes (and against the naive reference), compare per-statement results.
+
+const char* kBatches[] = {
+    // Fused scan -> hash agg, dense filter windows.
+    "select l_returnflag, l_linestatus, sum(l_quantity) as q, "
+    "count(*) as c from lineitem where l_shipdate < '1996-01-01' "
+    "group by l_returnflag, l_linestatus",
+    // 3-way join: int-key fast path + fused probe over lineitem.
+    "select c_nationkey, sum(l_extendedprice) as rev from customer, orders, "
+    "lineitem where c_custkey = o_custkey and o_orderkey = l_orderkey "
+    "and o_orderdate < '1996-07-01' group by c_nationkey",
+    // Composite join key (two equi-columns): general RowKey path.
+    "select count(*) as n from partsupp, lineitem where "
+    "ps_partkey = l_partkey and ps_suppkey = l_suppkey",
+    // Empty result set (predicate matches nothing).
+    "select l_returnflag, sum(l_quantity) as q from lineitem "
+    "where l_shipdate < '1970-01-01' group by l_returnflag",
+    // Join with an empty build/probe side.
+    "select count(*) as n from orders, lineitem where "
+    "o_orderkey = l_orderkey and o_orderdate < '1970-01-01'",
+    // Order-by on top of a join (sort consumes the join in both modes).
+    "select o_orderkey, sum(l_extendedprice) as rev from orders, lineitem "
+    "where o_orderkey = l_orderkey and o_orderdate < '1992-06-01' "
+    "group by o_orderkey order by rev desc",
+    // CSE batch (paper Example 1): spool write + three spool consumers.
+    "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, "
+    "sum(l_quantity) as lq from customer, orders, lineitem "
+    "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+    "and o_orderdate < '1996-07-01' and c_nationkey > 0 "
+    "and c_nationkey < 20 group by c_nationkey, c_mktsegment; "
+    "select c_nationkey, sum(l_extendedprice) as le, "
+    "sum(l_quantity) as lq from customer, orders, lineitem "
+    "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+    "and o_orderdate < '1996-07-01' and c_nationkey > 5 "
+    "and c_nationkey < 25 group by c_nationkey; "
+    "select n_regionkey, sum(l_extendedprice) as le, "
+    "sum(l_quantity) as lq from customer, orders, lineitem, nation "
+    "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+    "and c_nationkey = n_nationkey and o_orderdate < '1996-07-01' "
+    "and c_nationkey > 2 and c_nationkey < 24 group by n_regionkey",
+};
+
+class BatchParityTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchOptions opts;
+    opts.scale_factor = 0.002;
+    ASSERT_TRUE(tpch::LoadTpch(catalog_, opts).ok());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+  static Catalog* catalog_;
+};
+
+Catalog* BatchParityTest::catalog_ = nullptr;
+
+TEST_P(BatchParityTest, RowAndBatchModesAgree) {
+  const std::string batch = kBatches[GetParam()];
+  // Reference: naive plans, row-at-a-time.
+  QueryContext naive_ctx(catalog_);
+  auto naive_stmts = sql::BindSql(batch, &naive_ctx);
+  ASSERT_TRUE(naive_stmts.ok()) << naive_stmts.status().ToString();
+  ExecOptions row_opts;
+  row_opts.mode = ExecMode::kRowAtATime;
+  auto reference = ExecutePlan(NaivePlanBatch(*naive_stmts, &naive_ctx),
+                               row_opts, nullptr);
+
+  // Index-NL plans drive batch-mode children through the row interface;
+  // hash-only plans stay on the vectorized operators. Both configurations
+  // must agree with the reference in both modes.
+  for (bool index_scans : {true, false}) {
+    QueryContext ctx(catalog_);
+    auto stmts = sql::BindSql(batch, &ctx);
+    ASSERT_TRUE(stmts.ok());
+    CseOptimizerOptions options;
+    options.optimizer.enable_index_scans = index_scans;
+    CseQueryOptimizer optimizer(&ctx, options);
+    CseMetrics metrics;
+    ExecutablePlan plan = optimizer.Optimize(*stmts, &metrics);
+    ExecOptions batch_opts;
+    batch_opts.mode = ExecMode::kBatch;
+    auto row_results = ExecutePlan(plan, row_opts, nullptr);
+    auto batch_results = ExecutePlan(plan, batch_opts, nullptr);
+
+    ASSERT_EQ(row_results.size(), reference.size());
+    ASSERT_EQ(batch_results.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(Canon(row_results[i].rows), Canon(reference[i].rows))
+          << "row mode, index_scans=" << index_scans << ", stmt " << i;
+      EXPECT_EQ(Canon(batch_results[i].rows), Canon(reference[i].rows))
+          << "batch mode, index_scans=" << index_scans << ", stmt " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBatches, BatchParityTest,
+                         ::testing::Range(0, 7));
+
+// ---------------------------------------------------------------------------
+// Operator-level parity: hand-built plans over small tables with null keys,
+// fractional double keys, residual predicates, and row pulls in batch mode.
+
+Schema KV(DataType key_type = DataType::kInt64) {
+  Schema s;
+  s.AddColumn("k", key_type);
+  s.AddColumn("v", DataType::kInt64);
+  return s;
+}
+
+PhysicalNodePtr Scan(const Table* table, const std::vector<ColId>& cols) {
+  auto scan = MakePhysical(PhysOpKind::kTableScan);
+  scan->table = table;
+  scan->input_cols = cols;
+  scan->output = Layout(cols);
+  return scan;
+}
+
+std::vector<std::string> RunBothModes(const PhysicalNode& node) {
+  ExecContext row_ctx;
+  row_ctx.mode = ExecMode::kRowAtATime;
+  std::vector<std::string> row = Canon(RunToVector(node, &row_ctx));
+  ExecContext batch_ctx;
+  batch_ctx.mode = ExecMode::kBatch;
+  std::vector<std::string> batch = Canon(RunToVector(node, &batch_ctx));
+  EXPECT_EQ(row, batch);
+  return row;
+}
+
+// Null keys must never join, in either mode, on both hash-join paths.
+TEST(ExecBatchParityTest, NullIntKeysNeverJoin) {
+  Rng rng(11);
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* left = *catalog.CreateTable("l", KV());
+  Table* right = *catalog.CreateTable("r", KV());
+  for (int i = 0; i < 200; ++i) {
+    Value lk = rng.Uniform(0, 9) == 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(rng.Uniform(0, 12));
+    Value rk = rng.Uniform(0, 9) == 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(rng.Uniform(0, 12));
+    left->AppendRow({lk, Value::Int64(i)});
+    right->AppendRow({rk, Value::Int64(1000 + i)});
+  }
+  int lrel = ctx.AddRelation(*left, "l");
+  int rrel = ctx.AddRelation(*right, "r");
+  auto lc = ctx.columns().RelationColumns(lrel);
+  auto rc = ctx.columns().RelationColumns(rrel);
+  auto join = MakePhysical(PhysOpKind::kHashJoin);
+  join->join_keys = {{lc[0], rc[0]}};
+  join->children = {Scan(left, lc), Scan(right, rc)};
+  join->output = Layout({lc[1], rc[1], lc[0]});
+  std::vector<std::string> rows = RunBothModes(*join);
+  for (const std::string& r : rows) {
+    EXPECT_EQ(r.find("NULL|"), std::string::npos)
+        << "null key joined: " << r;
+  }
+}
+
+// Fractional doubles disqualify the int-key fast path; integral doubles must
+// still match int64 keys exactly (Value::Compare semantics) in both modes.
+TEST(ExecBatchParityTest, DoubleKeysUseGeneralPath) {
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* left = *catalog.CreateTable("l", KV(DataType::kInt64));
+  Table* right = *catalog.CreateTable("r", KV(DataType::kDouble));
+  for (int i = 0; i < 6; ++i) left->AppendRow({Value::Int64(i), Value::Int64(i)});
+  right->AppendRow({Value::Double(2.0), Value::Int64(100)});   // joins k=2
+  right->AppendRow({Value::Double(2.5), Value::Int64(101)});   // joins nothing
+  right->AppendRow({Value::Double(4.0), Value::Int64(102)});   // joins k=4
+  right->AppendRow({Value::Null(DataType::kDouble), Value::Int64(103)});
+  int lrel = ctx.AddRelation(*left, "l");
+  int rrel = ctx.AddRelation(*right, "r");
+  auto lc = ctx.columns().RelationColumns(lrel);
+  auto rc = ctx.columns().RelationColumns(rrel);
+  auto join = MakePhysical(PhysOpKind::kHashJoin);
+  join->join_keys = {{lc[0], rc[0]}};
+  join->children = {Scan(left, lc), Scan(right, rc)};
+  join->output = Layout({lc[1], rc[1]});
+  EXPECT_EQ(RunBothModes(*join).size(), 2u);
+}
+
+// Residual predicates filter matches after the key lookup on both paths.
+TEST(ExecBatchParityTest, ResidualPredicateParity) {
+  Rng rng(23);
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* left = *catalog.CreateTable("l", KV());
+  Table* right = *catalog.CreateTable("r", KV());
+  for (int i = 0; i < 120; ++i) {
+    left->AppendRow({Value::Int64(rng.Uniform(0, 5)),
+                     Value::Int64(rng.Uniform(0, 40))});
+    right->AppendRow({Value::Int64(rng.Uniform(0, 5)),
+                      Value::Int64(rng.Uniform(0, 40))});
+  }
+  int lrel = ctx.AddRelation(*left, "l");
+  int rrel = ctx.AddRelation(*right, "r");
+  auto lc = ctx.columns().RelationColumns(lrel);
+  auto rc = ctx.columns().RelationColumns(rrel);
+  auto join = MakePhysical(PhysOpKind::kHashJoin);
+  join->join_keys = {{lc[0], rc[0]}};
+  join->join_residual = Expr::Compare(CmpOp::kLt,
+                                 Expr::Column(lc[1], DataType::kInt64),
+                                 Expr::Column(rc[1], DataType::kInt64));
+  join->children = {Scan(left, lc), Scan(right, rc)};
+  join->output = Layout({lc[1], rc[1]});
+  RunBothModes(*join);
+}
+
+// Empty build and empty probe sides terminate cleanly in both modes.
+TEST(ExecBatchParityTest, EmptyInputsParity) {
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* empty = *catalog.CreateTable("e", KV());
+  Table* full = *catalog.CreateTable("f", KV());
+  for (int i = 0; i < 10; ++i) {
+    full->AppendRow({Value::Int64(i), Value::Int64(i)});
+  }
+  int erel = ctx.AddRelation(*empty, "e");
+  int frel = ctx.AddRelation(*full, "f");
+  auto ec = ctx.columns().RelationColumns(erel);
+  auto fc = ctx.columns().RelationColumns(frel);
+  for (bool empty_left : {true, false}) {
+    auto join = MakePhysical(PhysOpKind::kHashJoin);
+    if (empty_left) {
+      join->join_keys = {{ec[0], fc[0]}};
+      join->children = {Scan(empty, ec), Scan(full, fc)};
+      join->output = Layout({ec[1], fc[1]});
+    } else {
+      join->join_keys = {{fc[0], ec[0]}};
+      join->children = {Scan(full, fc), Scan(empty, ec)};
+      join->output = Layout({fc[1], ec[1]});
+    }
+    EXPECT_EQ(RunBothModes(*join).size(), 0u);
+  }
+}
+
+// A batch-mode parent without a NextBatch override (nested-loop join) pulls
+// its children row by row even though ctx->mode == kBatch. The hash join
+// below it must serve Next() correctly while its bindings target the fused /
+// int-key batch machinery — the exact shape that once produced garbage.
+TEST(ExecBatchParityTest, RowPullInsideBatchModeTree) {
+  Rng rng(7);
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* left = *catalog.CreateTable("l", KV());
+  Table* right = *catalog.CreateTable("r", KV());
+  Table* outer = *catalog.CreateTable("t", KV());
+  for (int i = 0; i < 60; ++i) {
+    left->AppendRow({Value::Int64(rng.Uniform(0, 6)),
+                     Value::Int64(rng.Uniform(0, 10))});
+    right->AppendRow({Value::Int64(rng.Uniform(0, 6)),
+                      Value::Int64(rng.Uniform(0, 10))});
+  }
+  for (int i = 0; i < 4; ++i) {
+    outer->AppendRow({Value::Int64(i), Value::Int64(i)});
+  }
+  int lrel = ctx.AddRelation(*left, "l");
+  int rrel = ctx.AddRelation(*right, "r");
+  int trel = ctx.AddRelation(*outer, "t");
+  auto lc = ctx.columns().RelationColumns(lrel);
+  auto rc = ctx.columns().RelationColumns(rrel);
+  auto tc = ctx.columns().RelationColumns(trel);
+
+  auto hash = MakePhysical(PhysOpKind::kHashJoin);
+  hash->join_keys = {{lc[0], rc[0]}};
+  hash->children = {Scan(left, lc), Scan(right, rc)};
+  hash->output = Layout({lc[1], rc[1]});
+
+  auto nlj = MakePhysical(PhysOpKind::kNlJoin);
+  nlj->nl_pred = Expr::Compare(CmpOp::kEq,
+                               Expr::Column(lc[1], DataType::kInt64),
+                               Expr::Column(tc[0], DataType::kInt64));
+  nlj->children = {std::move(hash), Scan(outer, tc)};
+  nlj->output = Layout({lc[1], rc[1], tc[1]});
+  RunBothModes(*nlj);
+}
+
+}  // namespace
+}  // namespace subshare

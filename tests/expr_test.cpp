@@ -78,6 +78,30 @@ TEST(ExprTest, PatternHelpers) {
   EXPECT_EQ(v.AsInt64(), 10);
 }
 
+// Regression: info() must return a copy, not a reference. The backing
+// vector reallocates when new columns are registered, so a returned
+// reference would dangle across AddSynthetic/AddRelation/InternCanonical
+// (this bit once under ASan: the caller held info() across registrations).
+TEST(ExprTest, ColumnInfoSurvivesRegistryGrowth) {
+  ColumnRegistry reg;
+  ColId first = reg.AddSynthetic("first", DataType::kString);
+  ColumnInfo held = reg.info(first);
+  // Force repeated reallocations of the backing vector.
+  for (int i = 0; i < 1000; ++i) {
+    reg.AddSynthetic("filler" + std::to_string(i), DataType::kInt64);
+  }
+  reg.InternCanonical(/*table_id=*/0, /*column_idx=*/0, "canon",
+                      DataType::kDate);
+  EXPECT_EQ(held.name, "first");
+  EXPECT_EQ(held.type, DataType::kString);
+  EXPECT_EQ(held.rel_id, -1);
+  EXPECT_FALSE(held.is_canonical);
+  // And a copy taken now still matches the original registration.
+  ColumnInfo again = reg.info(first);
+  EXPECT_EQ(again.name, "first");
+  EXPECT_EQ(again.type, DataType::kString);
+}
+
 TEST(EvaluatorTest, BindAndEval) {
   Layout layout({10, 20, 30});
   EXPECT_EQ(layout.IndexOf(20), 1);
