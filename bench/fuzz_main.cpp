@@ -1,0 +1,83 @@
+// Standalone differential fuzzer for long runs.
+//
+//   fuzz_main [--seed=N] [--batches=N] [--sf=X] [--stop-on-first]
+//
+// Generates `batches` random query batches (testing/query_gen.h), one
+// generator per seed in [seed, seed+batches), and cross-checks each under
+// row/batch × naive/CSE (testing/differential.h). A failing batch is shrunk
+// and reported with its seed, so `--seed=<that seed> --batches=1` reproduces
+// it exactly. Exits nonzero when any divergence was found.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "testing/differential.h"
+#include "testing/query_gen.h"
+#include "tpch/tpch.h"
+#include "util/check.h"
+
+using subshare::Catalog;
+using subshare::testing::BatchSpec;
+using subshare::testing::DifferentialTester;
+using subshare::testing::Divergence;
+using subshare::testing::QueryGenerator;
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  int batches = 2000;
+  double sf = 0.002;
+  bool stop_on_first = false;
+  if (const char* env = std::getenv("SUBSHARE_SF")) sf = std::atof(env);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--batches=", 10) == 0) {
+      batches = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--sf=", 5) == 0) {
+      sf = std::atof(argv[i] + 5);
+    } else if (std::strcmp(argv[i], "--stop-on-first") == 0) {
+      stop_on_first = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Catalog catalog;
+  subshare::tpch::TpchOptions tpch;
+  tpch.scale_factor = sf;
+  CHECK(subshare::tpch::LoadTpch(&catalog, tpch).ok());
+  std::printf("fuzz: sf=%g seeds=[%llu, %llu)\n", sf,
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + batches));
+
+  DifferentialTester tester(&catalog);
+  int divergences = 0;
+  for (int i = 0; i < batches; ++i) {
+    uint64_t batch_seed = seed + static_cast<uint64_t>(i);
+    QueryGenerator gen(&catalog, batch_seed);
+    BatchSpec batch = gen.NextBatch();
+    batch.seed = batch_seed;
+    if (auto d = tester.CheckBatch(batch); d.has_value()) {
+      ++divergences;
+      std::printf("=== divergence at seed %llu ===\n%s\n",
+                  static_cast<unsigned long long>(batch_seed),
+                  d->ToString().c_str());
+      if (stop_on_first) break;
+    }
+    if ((i + 1) % 100 == 0) {
+      std::printf("  %d/%d batches, %lld statements, %d divergences\n", i + 1,
+                  batches,
+                  static_cast<long long>(tester.statements_checked()),
+                  divergences);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("fuzz: %lld batches, %lld statements, %d divergences\n",
+              static_cast<long long>(tester.batches_checked()),
+              static_cast<long long>(tester.statements_checked()),
+              divergences);
+  return divergences == 0 ? 0 : 1;
+}

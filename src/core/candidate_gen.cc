@@ -268,7 +268,7 @@ double CandidateGenerator::SharedCost(const CseSpec& spec) const {
 
 void CandidateGenerator::GenerateForCompatibleSet(
     const std::vector<SpjgNormalForm>& consumers, const CompatibleGroup& set,
-    std::vector<CseSpec>* out, GenDiagnostics* diag) {
+    std::vector<CseSpec>* out, GenDiagnostics* diag, OptTrace* trace) {
   std::vector<int> members = set.members;
 
   if (!options_.heuristics) {
@@ -285,6 +285,14 @@ void CandidateGenerator::GenerateForCompatibleSet(
   if (options_.query_cost > 0 &&
       sum_lower < options_.alpha * options_.query_cost) {
     if (diag != nullptr) ++diag->sets_pruned_h1;
+    if (trace != nullptr) {
+      trace->prunes.push_back(
+          {StrFormat("compatible set of %d consumer(s)",
+                     static_cast<int>(members.size())),
+           "H1",
+           StrFormat("sum of lower bounds %.2f < alpha * query cost %.2f",
+                     sum_lower, options_.alpha * options_.query_cost)});
+    }
     return;
   }
 
@@ -299,6 +307,12 @@ void CandidateGenerator::GenerateForCompatibleSet(
       if (upper < trivial.spool_read_cost +
                       (upper + trivial.spool_write_cost) / n) {
         if (diag != nullptr) ++diag->consumers_pruned_h2;
+        if (trace != nullptr) {
+          trace->prunes.push_back(
+              {trivial.description, "H2",
+               StrFormat("consumer upper bound %.2f below spool cost",
+                         upper)});
+        }
         continue;
       }
       kept.push_back(m);
@@ -328,6 +342,7 @@ void CandidateGenerator::GenerateForCompatibleSet(
     while (true) {
       double best_delta = 0;
       int best_j = -1;
+      int best_attempt = -1;
       CseSpec best_spec;
       for (size_t j = 0; j < trivial.size(); ++j) {
         if (consumed[j]) continue;
@@ -337,16 +352,28 @@ void CandidateGenerator::GenerateForCompatibleSet(
         CseSpec other_spec = BuildSpec(consumers, trivial[j]);
         double delta =
             cost_of(current_spec) + cost_of(other_spec) - cost_of(merged_spec);
+        if (trace != nullptr) {
+          trace->merges.push_back({current_spec.description,
+                                   other_spec.description, delta, false});
+        }
         if (delta > best_delta) {
           best_delta = delta;
           best_j = static_cast<int>(j);
+          best_attempt =
+              trace != nullptr ? static_cast<int>(trace->merges.size()) - 1
+                               : -1;
           best_spec = std::move(merged_spec);
         }
       }
       if (best_j < 0) {
         if (diag != nullptr && !is_candidate) ++diag->merges_rejected_h3;
+        if (trace != nullptr && !is_candidate) {
+          trace->prunes.push_back({current_spec.description, "H3",
+                                   "no merge with positive benefit"});
+        }
         break;
       }
+      if (best_attempt >= 0) trace->merges[best_attempt].accepted = true;
       consumed[best_j] = true;
       current.push_back(trivial[best_j][0]);
       current_spec = std::move(best_spec);
@@ -356,11 +383,18 @@ void CandidateGenerator::GenerateForCompatibleSet(
   }
 }
 
-std::vector<CseSpec> CandidateGenerator::GenerateAll(GenDiagnostics* diag) {
+std::vector<CseSpec> CandidateGenerator::GenerateAll(GenDiagnostics* diag,
+                                                     OptTrace* trace) {
   std::vector<CseSpec> out;
   const ColumnRegistry& reg = manager_->ctx()->columns();
+  const Catalog* catalog = manager_->ctx()->catalog();
   for (const std::vector<GroupId>& set : manager_->SharableSets()) {
     if (diag != nullptr) ++diag->sharable_sets;
+    if (trace != nullptr) {
+      trace->signatures.push_back(
+          {manager_->signature(set[0]).ToString(catalog),
+           static_cast<int>(set.size()), false});
+    }
     // Heuristic 1 before compatibility analysis: discard obviously trivial
     // sets immediately.
     if (options_.heuristics && options_.query_cost > 0) {
@@ -368,6 +402,7 @@ std::vector<CseSpec> CandidateGenerator::GenerateAll(GenDiagnostics* diag) {
       for (GroupId g : set) sum_lower += ConsumerLowerBound(g);
       if (sum_lower < options_.alpha * options_.query_cost) {
         if (diag != nullptr) ++diag->sets_pruned_h1;
+        if (trace != nullptr) trace->signatures.back().pruned_h1 = true;
         continue;
       }
     }
@@ -380,7 +415,7 @@ std::vector<CseSpec> CandidateGenerator::GenerateAll(GenDiagnostics* diag) {
     for (const CompatibleGroup& compatible :
          PartitionJoinCompatible(consumers, reg)) {
       if (compatible.members.size() < 2) continue;
-      GenerateForCompatibleSet(consumers, compatible, &out, diag);
+      GenerateForCompatibleSet(consumers, compatible, &out, diag, trace);
     }
   }
   return out;

@@ -22,6 +22,7 @@
 #define SUBSHARE_CORE_CANDIDATE_GEN_H_
 
 #include "core/join_compat.h"
+#include "core/opt_trace.h"
 #include "optimizer/cardinality.h"
 
 namespace subshare {
@@ -69,8 +70,11 @@ class CandidateGenerator {
                      CandidateGenOptions options)
       : manager_(manager), cards_(cards), options_(options) {}
 
-  // Full Step-2 detection pipeline over the current memo contents.
-  std::vector<CseSpec> GenerateAll(GenDiagnostics* diag = nullptr);
+  // Full Step-2 detection pipeline over the current memo contents. When
+  // `trace` is given, records signature sets, Algorithm-1 merge attempts
+  // and heuristic prunes into the decision log.
+  std::vector<CseSpec> GenerateAll(GenDiagnostics* diag = nullptr,
+                                   OptTrace* trace = nullptr);
 
   // Covering construction for an explicit consumer subset (§4.2); exposed
   // for tests. `members` indexes into `consumers`.
@@ -84,7 +88,7 @@ class CandidateGenerator {
   void GenerateForCompatibleSet(const std::vector<SpjgNormalForm>& consumers,
                                 const CompatibleGroup& set,
                                 std::vector<CseSpec>* out,
-                                GenDiagnostics* diag);
+                                GenDiagnostics* diag, OptTrace* trace);
   double ConsumerLowerBound(GroupId g) const;
   double ConsumerUpperBound(GroupId g) const;
   // Total cost of serving all of `spec`'s consumers through the spool.

@@ -104,10 +104,13 @@ PhysicalNodePtr CseQueryOptimizer::Enumerate(GroupId root, int n,
                      return rank(a) > rank(b);
                    });
 
+  OptTrace* trace = metrics != nullptr ? &metrics->trace : nullptr;
   std::set<uint64_t> processed;
   auto apply_props = [&](uint64_t s, uint64_t used) {
     // Prop 5.6: the plan returned under S is also optimal under `used`.
-    processed.insert(used);
+    if (processed.insert(used).second && trace != nullptr && used != s) {
+      ++trace->skipped_prop56;
+    }
     // Props 5.4/5.5 for both S and used: any proper subset made only of
     // the fully independent part can be skipped.
     for (uint64_t base : {s, used}) {
@@ -117,12 +120,16 @@ PhysicalNodePtr CseQueryOptimizer::Enumerate(GroupId root, int n,
         // Prop 5.4: all members independent -> every subset is redundant.
         for (uint64_t sub = (base - 1) & base; sub != 0;
              sub = (sub - 1) & base) {
-          processed.insert(sub);
+          if (processed.insert(sub).second && trace != nullptr) {
+            ++trace->skipped_prop54;
+          }
         }
       } else {
         // Prop 5.5: proper subsets of the independent part T.
         for (uint64_t sub = (t - 1) & t; sub != 0; sub = (sub - 1) & t) {
-          processed.insert(sub);
+          if (processed.insert(sub).second && trace != nullptr) {
+            ++trace->skipped_prop55;
+          }
         }
       }
     }
@@ -131,17 +138,27 @@ PhysicalNodePtr CseQueryOptimizer::Enumerate(GroupId root, int n,
   int opts = 0;
   for (uint64_t s : subsets) {
     if (processed.count(s) > 0) continue;
-    if (opts >= options_.max_optimizations) break;
+    if (opts >= options_.max_optimizations) {
+      if (trace != nullptr) trace->enumeration_capped = true;
+      break;
+    }
     ++opts;
     processed.insert(s);
     PhysicalNodePtr plan = optimizer_->BestPlan(root, Bitset64(s));
-    if (plan == nullptr) continue;
+    if (plan == nullptr) {
+      if (trace != nullptr) trace->enumeration.push_back({s, -1, 0, false});
+      continue;
+    }
     uint64_t used = 0;
     for (const auto& [id, count] : plan->cse_uses) {
       if (count >= 2 && (s >> id & 1)) used |= (1ULL << id);
     }
     apply_props(s, used);
-    if (plan->est_cost < best->est_cost) {
+    bool improved = plan->est_cost < best->est_cost;
+    if (trace != nullptr) {
+      trace->enumeration.push_back({s, plan->est_cost, used, improved});
+    }
+    if (improved) {
       best = plan;
       *best_set = Bitset64(used != 0 ? used : s);
     }
@@ -162,6 +179,7 @@ ExecutablePlan CseQueryOptimizer::Optimize(
   PhysicalNodePtr normal_plan = optimizer_->BestPlan(root, Bitset64());
   CHECK(normal_plan != nullptr) << "no feasible plan";
   m->normal_cost = normal_plan->est_cost;
+  m->trace.normal_cost = m->normal_cost;
 
   auto finish = [&](PhysicalNodePtr plan, Bitset64 enabled) {
     ExecutablePlan exec = optimizer_->Assemble(std::move(plan), enabled);
@@ -169,6 +187,8 @@ ExecutablePlan CseQueryOptimizer::Optimize(
     m->used_cses = static_cast<int>(exec.cse_plans.size());
     m->optimize_seconds = timer.ElapsedSeconds();
     m->plan_computations = optimizer_->plan_computations();
+    m->trace.chosen_set = enabled.Raw();
+    m->trace.final_cost = exec.est_cost;
     return exec;
   };
 
@@ -185,7 +205,7 @@ ExecutablePlan CseQueryOptimizer::Optimize(
   gen_options.query_cost = m->normal_cost;
   gen_options.enable_range_hull = options_.enable_range_hull;
   CandidateGenerator generator(&manager, &optimizer_->cards(), gen_options);
-  std::vector<CseSpec> specs = generator.GenerateAll(&m->gen);
+  std::vector<CseSpec> specs = generator.GenerateAll(&m->gen, &m->trace);
   m->sharable_sets = m->gen.sharable_sets;
   m->candidates_generated = static_cast<int>(specs.size());
   if (specs.empty()) return finish(normal_plan, Bitset64());
@@ -202,6 +222,9 @@ ExecutablePlan CseQueryOptimizer::Optimize(
           dead[c] = true;
           m->pruned_descriptions.push_back(
               specs[c].description + " -- pruned by Heuristic 4 (contained)");
+          m->trace.prunes.push_back(
+              {specs[c].description, "H4",
+               "contained in " + specs[p].description});
           break;
         }
       }
@@ -235,6 +258,8 @@ ExecutablePlan CseQueryOptimizer::Optimize(
     for (size_t i = options_.max_candidates; i < specs.size(); ++i) {
       m->pruned_descriptions.push_back(specs[i].description +
                                        " -- dropped by enumeration cap");
+      m->trace.prunes.push_back({specs[i].description, "cap",
+                                 "lowest net benefit beyond max_candidates"});
     }
     specs.resize(options_.max_candidates);
   }
@@ -250,6 +275,8 @@ ExecutablePlan CseQueryOptimizer::Optimize(
                                                  static_cast<int>(i)));
     eval_roots.push_back(artifacts.back().eval_root);
     m->candidate_descriptions.push_back(specs[i].description);
+    m->trace.candidates.push_back({static_cast<int>(i), specs[i].description,
+                                   static_cast<int>(specs[i].consumers.size())});
   }
   // Explore the evaluation expressions (this also creates the partial
   // aggregates / sub-joins inside them that stacked matching inspects).

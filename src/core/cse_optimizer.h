@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "core/candidate_gen.h"
+#include "core/opt_trace.h"
 #include "core/view_match.h"
 #include "optimizer/optimizer.h"
 
@@ -54,6 +55,9 @@ struct CseMetrics {
   GenDiagnostics gen;
   std::vector<std::string> candidate_descriptions;
   std::vector<std::string> pruned_descriptions;  // "<desc> -- <reason>"
+  // Full decision log (signature filtering, Algorithm-1 merges, heuristic
+  // prunes, enumeration steps); render with trace.ExplainTrace().
+  OptTrace trace;
 };
 
 class CseQueryOptimizer {

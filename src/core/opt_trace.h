@@ -1,0 +1,78 @@
+// Optimizer decision trace (§3–§5): a structured record of the choices the
+// CSE optimizer makes for one batch — which signature sets passed the fast
+// filter, what Algorithm 1 merged, what the §4.3 heuristics and the §5
+// subset enumeration pruned — rendered by ExplainTrace(). The differential
+// fuzzer attaches this log to every counterexample so a result mismatch
+// comes with the decision history needed to localize the bug.
+#ifndef SUBSHARE_CORE_OPT_TRACE_H_
+#define SUBSHARE_CORE_OPT_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace subshare {
+
+struct OptTrace {
+  // §3 signature filtering: one entry per same-signature group set the CSE
+  // manager surfaced (before join-compatibility analysis).
+  struct SignatureSet {
+    std::string signature;  // "[G; {customer, orders}]"
+    int num_groups = 0;     // consumer groups sharing the signature
+    bool pruned_h1 = false; // dropped by Heuristic 1 before compatibility
+  };
+
+  // Algorithm 1 (§4.3): one entry per attempted greedy merge step.
+  struct Merge {
+    std::string current;    // growing candidate being extended
+    std::string other;      // singleton considered for merging in
+    double delta = 0;       // benefit Δ of the merge
+    bool accepted = false;  // merged (best positive Δ of the round)
+  };
+
+  // Heuristic/cap prunes (§4.3 H1–H4, enumeration cap).
+  struct Prune {
+    std::string what;    // candidate / consumer / set description
+    std::string rule;    // "H1", "H2", "H3", "H4", "cap"
+    std::string detail;
+  };
+
+  // Candidates that survived pruning and were materialized (§5).
+  struct Candidate {
+    int id = -1;
+    std::string description;
+    int num_consumers = 0;
+  };
+
+  // §5.3 enumeration: one entry per enabled set actually optimized.
+  struct EnumStep {
+    uint64_t subset = 0;    // enabled candidate bitmask
+    double cost = 0;        // best plan cost under this set (<0: infeasible)
+    uint64_t used = 0;      // candidates spooled by >= 2 consumers
+    bool improved = false;  // became the best plan so far
+  };
+
+  std::vector<SignatureSet> signatures;
+  std::vector<Merge> merges;
+  std::vector<Prune> prunes;
+  std::vector<Candidate> candidates;
+  std::vector<EnumStep> enumeration;
+  // Enabled sets marked redundant without optimization (Props 5.4–5.6).
+  int64_t skipped_prop54 = 0;
+  int64_t skipped_prop55 = 0;
+  int64_t skipped_prop56 = 0;
+  bool enumeration_capped = false;  // hit max_optimizations
+
+  uint64_t chosen_set = 0;
+  double normal_cost = 0;
+  double final_cost = 0;
+
+  void Clear() { *this = OptTrace(); }
+
+  // Human-readable rendering of the full decision log.
+  std::string ExplainTrace() const;
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CORE_OPT_TRACE_H_

@@ -106,7 +106,9 @@ Status Binder::BuildScope(const AstSelect& ast) {
       if (node->op.kind == LogicalOpKind::kSort) {
         node = node->children[0].get();
       }
-      CHECK(node->op.kind == LogicalOpKind::kProject);
+      if (node->op.kind != LogicalOpKind::kProject) {
+        return Status::Internal("derived table did not bind to a projection");
+      }
       ScopeEntry entry;
       entry.alias = ref.alias;
       for (size_t i = 0; i < node->op.projections.size(); ++i) {
@@ -410,6 +412,13 @@ StatusOr<Statement> Binder::Bind(const AstSelect& ast,
         return Status::InvalidArgument("SELECT * with GROUP BY");
       }
       for (const ScopeEntry& e : scope_) {
+        if (e.table == nullptr) {
+          // Derived table: expand its projected columns.
+          for (const auto& [col_name, col] : e.derived_columns) {
+            items.push_back({Expr::Column(col, ctx_->ColType(col)), col_name});
+          }
+          continue;
+        }
         for (int i = 0; i < e.table->schema().num_columns(); ++i) {
           ColId col = ctx_->columns().RelationColumn(e.rel_id, i);
           items.push_back({Expr::Column(col, ctx_->ColType(col)),

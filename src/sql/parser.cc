@@ -257,6 +257,7 @@ class Parser {
     // x IN (v1, v2, ...)  ->  x = v1 OR x = v2 OR ...
     if (ConsumeKeyword("in")) {
       RETURN_IF_ERROR(ExpectSymbol("("));
+      if (PeekSymbol(")")) return Error("IN list must not be empty");
       AstExprPtr disjunction;
       do {
         ASSIGN_OR_RETURN(AstExprPtr value, ParseAdditive());

@@ -1,0 +1,656 @@
+#include "testing/query_gen.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "types/date.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace subshare::testing {
+
+namespace {
+
+// TPC-H foreign-key edges by name; resolved against the catalog at
+// construction so a partially loaded catalog just gets fewer edges.
+struct NamedEdge {
+  const char* a_tbl;
+  const char* a_col;
+  const char* b_tbl;
+  const char* b_col;
+};
+constexpr NamedEdge kFkEdges[] = {
+    {"lineitem", "l_orderkey", "orders", "o_orderkey"},
+    {"lineitem", "l_partkey", "part", "p_partkey"},
+    {"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+    {"orders", "o_custkey", "customer", "c_custkey"},
+    {"customer", "c_nationkey", "nation", "n_nationkey"},
+    {"supplier", "s_nationkey", "nation", "n_nationkey"},
+    {"nation", "n_regionkey", "region", "r_regionkey"},
+    {"partsupp", "ps_partkey", "part", "p_partkey"},
+    {"partsupp", "ps_suppkey", "supplier", "s_suppkey"},
+};
+
+// Columns sharing a key domain: equijoins across these are semantically
+// sensible even without an FK edge (e.g. c_nationkey = s_nationkey).
+constexpr const char* kKeyDomains[][3] = {
+    {"c_nationkey", "s_nationkey", "n_nationkey"},
+    {"l_partkey", "p_partkey", "ps_partkey"},
+    {"l_suppkey", "s_suppkey", "ps_suppkey"},
+};
+
+bool SameCol(const GenCol& a, const GenCol& b) {
+  return a.tbl == b.tbl && a.col == b.col;
+}
+
+// True if the join graph over q->tables is connected.
+bool Connected(const QuerySpec& q) {
+  int n = static_cast<int>(q.tables.size());
+  if (n <= 1) return true;
+  std::vector<int> comp(n);
+  for (int i = 0; i < n; ++i) comp[i] = i;
+  for (const auto& [a, b] : q.joins) {
+    int ca = comp[a.tbl], cb = comp[b.tbl];
+    if (ca == cb) continue;
+    for (int& c : comp) {
+      if (c == cb) c = ca;
+    }
+  }
+  for (int i = 1; i < n; ++i) {
+    if (comp[i] != comp[0]) return false;
+  }
+  return true;
+}
+
+std::string RenderAgg(const GenAgg& a) {
+  if (a.star) return "count(*)";
+  return a.fn + "(" + a.col.col + ")";
+}
+
+std::string RenderPred(const GenPred& p) {
+  switch (p.kind) {
+    case GenPred::Kind::kCmp:
+      return p.col.col + " " + p.op + " " + p.lits[0];
+    case GenPred::Kind::kBetween:
+      return p.col.col + " between " + p.lits[0] + " and " + p.lits[1];
+    case GenPred::Kind::kIn: {
+      std::string out = p.col.col + " in (";
+      for (size_t i = 0; i < p.lits.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += p.lits[i];
+      }
+      return out + ")";
+    }
+    case GenPred::Kind::kOr:
+      return "(" + p.col.col + " " + p.op + " " + p.lits[0] + " or " +
+             p.col2.col + " " + p.op2 + " " + p.lits[1] + ")";
+  }
+  return "";
+}
+
+// Drops table `t` from the spec, remapping references; returns false when
+// the result would be disconnected or reference the dropped table.
+bool DropTable(QuerySpec* q, int t) {
+  if (q->tables.size() <= 1) return false;
+  auto maps = [&](const GenCol& c) { return c.tbl != t; };
+  QuerySpec out;
+  out.tables = q->tables;
+  out.tables.erase(out.tables.begin() + t);
+  auto remap = [&](GenCol c) {
+    if (c.tbl > t) --c.tbl;
+    return c;
+  };
+  for (const auto& [a, b] : q->joins) {
+    if (a.tbl == t || b.tbl == t) continue;
+    out.joins.emplace_back(remap(a), remap(b));
+  }
+  for (const auto& p : q->preds) {
+    if (!maps(p.col)) continue;
+    if (p.kind == GenPred::Kind::kOr && !maps(p.col2)) continue;
+    GenPred np = p;
+    np.col = remap(np.col);
+    np.col2 = remap(np.col2);
+    out.preds.push_back(std::move(np));
+  }
+  for (const auto& c : q->group_cols) {
+    if (maps(c)) out.group_cols.push_back(remap(c));
+  }
+  for (const auto& a : q->aggs) {
+    if (a.star || maps(a.col)) {
+      GenAgg na = a;
+      na.col = remap(na.col);
+      out.aggs.push_back(std::move(na));
+    }
+  }
+  for (const auto& c : q->select_cols) {
+    if (maps(c)) out.select_cols.push_back(remap(c));
+  }
+  out.having = q->having;
+  if (out.having.present && !out.having.agg.star && !maps(out.having.agg.col)) {
+    out.having.present = false;
+  } else if (out.having.present && !out.having.agg.star) {
+    out.having.agg.col = remap(out.having.agg.col);
+  }
+  out.distinct = q->distinct;
+  // The select list may have shrunk; keep ORDER BY only when still valid.
+  int items = static_cast<int>(out.group_cols.size() + out.aggs.size() +
+                               out.select_cols.size());
+  out.order_by_item = q->order_by_item <= items ? q->order_by_item : -1;
+  if (items == 0) return false;
+  if (!Connected(out)) return false;
+  *q = std::move(out);
+  return true;
+}
+
+int NumSelectItems(const QuerySpec& q) {
+  return static_cast<int>(q.group_cols.size() + q.aggs.size() +
+                          q.select_cols.size());
+}
+
+}  // namespace
+
+std::string ToSql(const QuerySpec& query) {
+  std::string sql = "select ";
+  if (query.distinct) sql += "distinct ";
+  std::vector<std::string> items;
+  for (const auto& c : query.group_cols) items.push_back(c.col);
+  int agg_idx = 0;
+  for (const auto& a : query.aggs) {
+    items.push_back(RenderAgg(a) + " as agg" + std::to_string(agg_idx++));
+  }
+  for (const auto& c : query.select_cols) items.push_back(c.col);
+  CHECK(!items.empty());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += items[i];
+  }
+  sql += " from ";
+  for (size_t i = 0; i < query.tables.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += query.tables[i];
+  }
+  std::vector<std::string> conjuncts;
+  for (const auto& [a, b] : query.joins) {
+    conjuncts.push_back(a.col + " = " + b.col);
+  }
+  for (const auto& p : query.preds) conjuncts.push_back(RenderPred(p));
+  if (!conjuncts.empty()) {
+    sql += " where ";
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (i > 0) sql += " and ";
+      sql += conjuncts[i];
+    }
+  }
+  if (!query.group_cols.empty()) {
+    sql += " group by ";
+    for (size_t i = 0; i < query.group_cols.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += query.group_cols[i].col;
+    }
+  }
+  if (query.having.present) {
+    sql += " having " + RenderAgg(query.having.agg) + " " + query.having.op +
+           " " + query.having.lit;
+  }
+  if (query.order_by_item > 0) {
+    sql += " order by " + std::to_string(query.order_by_item);
+  }
+  return sql;
+}
+
+std::string ToSql(const BatchSpec& batch) {
+  std::string sql;
+  for (const auto& q : batch.queries) {
+    sql += ToSql(q);
+    sql += ";\n";
+  }
+  return sql;
+}
+
+std::vector<BatchSpec> ShrinkCandidates(const BatchSpec& batch) {
+  std::vector<BatchSpec> out;
+  // Drop a whole statement.
+  if (batch.queries.size() > 1) {
+    for (size_t i = 0; i < batch.queries.size(); ++i) {
+      BatchSpec b = batch;
+      b.queries.erase(b.queries.begin() + i);
+      out.push_back(std::move(b));
+    }
+  }
+  for (size_t qi = 0; qi < batch.queries.size(); ++qi) {
+    const QuerySpec& q = batch.queries[qi];
+    auto with = [&](QuerySpec nq) {
+      BatchSpec b = batch;
+      b.queries[qi] = std::move(nq);
+      out.push_back(std::move(b));
+    };
+    // Drop a table (and everything referencing it).
+    for (size_t t = 0; t < q.tables.size(); ++t) {
+      QuerySpec nq = q;
+      if (DropTable(&nq, static_cast<int>(t))) with(std::move(nq));
+    }
+    // Drop a predicate.
+    for (size_t p = 0; p < q.preds.size(); ++p) {
+      QuerySpec nq = q;
+      nq.preds.erase(nq.preds.begin() + p);
+      with(std::move(nq));
+    }
+    // Drop a redundant (non-FK) join conjunct if the graph stays connected.
+    for (size_t j = 0; j < q.joins.size(); ++j) {
+      QuerySpec nq = q;
+      nq.joins.erase(nq.joins.begin() + j);
+      if (Connected(nq)) with(std::move(nq));
+    }
+    // Drop a grouping column.
+    for (size_t g = 0; g < q.group_cols.size(); ++g) {
+      if (NumSelectItems(q) <= 1) break;
+      QuerySpec nq = q;
+      nq.group_cols.erase(nq.group_cols.begin() + g);
+      if (nq.order_by_item > NumSelectItems(nq)) nq.order_by_item = -1;
+      with(std::move(nq));
+    }
+    // Drop an aggregate.
+    for (size_t a = 0; a < q.aggs.size(); ++a) {
+      if (NumSelectItems(q) <= 1) break;
+      QuerySpec nq = q;
+      nq.aggs.erase(nq.aggs.begin() + a);
+      if (nq.order_by_item > NumSelectItems(nq)) nq.order_by_item = -1;
+      with(std::move(nq));
+    }
+    // Drop a plain select column.
+    for (size_t c = 0; c < q.select_cols.size(); ++c) {
+      if (NumSelectItems(q) <= 1) break;
+      QuerySpec nq = q;
+      nq.select_cols.erase(nq.select_cols.begin() + c);
+      if (nq.order_by_item > NumSelectItems(nq)) nq.order_by_item = -1;
+      with(std::move(nq));
+    }
+    // Drop HAVING / DISTINCT / ORDER BY; shorten IN lists.
+    if (q.having.present) {
+      QuerySpec nq = q;
+      nq.having.present = false;
+      with(std::move(nq));
+    }
+    if (q.distinct) {
+      QuerySpec nq = q;
+      nq.distinct = false;
+      with(std::move(nq));
+    }
+    if (q.order_by_item > 0) {
+      QuerySpec nq = q;
+      nq.order_by_item = -1;
+      with(std::move(nq));
+    }
+    for (size_t p = 0; p < q.preds.size(); ++p) {
+      if (q.preds[p].kind == GenPred::Kind::kIn && q.preds[p].lits.size() > 1) {
+        QuerySpec nq = q;
+        nq.preds[p].lits.pop_back();
+        with(std::move(nq));
+      }
+    }
+  }
+  return out;
+}
+
+QueryGenerator::QueryGenerator(const Catalog* catalog, uint64_t seed,
+                               QueryGenOptions options)
+    : catalog_(catalog), options_(options), rng_(seed) {
+  for (const char* name :
+       {"region", "nation", "supplier", "part", "partsupp", "customer",
+        "orders", "lineitem"}) {
+    const Table* t = catalog->GetTable(name);
+    if (t != nullptr) tables_.push_back({t, name});
+  }
+  CHECK(!tables_.empty());
+  for (const NamedEdge& e : kFkEdges) {
+    int a = TableIndex(e.a_tbl);
+    int b = TableIndex(e.b_tbl);
+    if (a >= 0 && b >= 0) {
+      edges_.push_back({a, e.a_col, b, e.b_col});
+    }
+  }
+}
+
+int QueryGenerator::TableIndex(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string QueryGenerator::SampleLiteral(const TableInfo& t, int col_idx) {
+  const ColumnSchema& col = t.table->schema().column(col_idx);
+  const ColumnStats* stats = nullptr;
+  if (t.table->stats_valid() &&
+      col_idx < static_cast<int>(t.table->stats().columns.size())) {
+    stats = &t.table->stats().columns[col_idx];
+  }
+  switch (col.type) {
+    case DataType::kInt64: {
+      int64_t lo = 0, hi = 100;
+      if (stats != nullptr && !stats->min.is_null()) {
+        lo = stats->min.AsInt64();
+        hi = stats->max.AsInt64();
+      }
+      if (hi < lo) hi = lo;
+      return std::to_string(lo +
+                            rng_.Uniform(0, std::min<int64_t>(hi - lo, 1000000)));
+    }
+    case DataType::kDouble: {
+      double lo = 0, hi = 1000;
+      if (stats != nullptr && !stats->min.is_null()) {
+        lo = stats->min.AsDouble();
+        hi = stats->max.AsDouble();
+      }
+      double v = lo + rng_.NextDouble() * (hi - lo);
+      return StrFormat("%.2f", v);
+    }
+    case DataType::kDate: {
+      int64_t lo = CivilToDays(1992, 1, 1), hi = CivilToDays(1998, 12, 31);
+      if (stats != nullptr && !stats->min.is_null()) {
+        lo = stats->min.AsInt64();
+        hi = stats->max.AsInt64();
+      }
+      if (hi < lo) hi = lo;
+      int64_t v = lo + rng_.Uniform(0, std::min<int64_t>(hi - lo, 1000000));
+      return "'" + DaysToIsoDate(v) + "'";
+    }
+    case DataType::kString: {
+      // Sample a live value so equality predicates actually select rows.
+      const auto& rows = t.table->rows();
+      std::string v = "a";
+      if (!rows.empty()) {
+        const Value& cell =
+            rows[rng_.Uniform(0, static_cast<int>(rows.size()) - 1)][col_idx];
+        if (!cell.is_null()) v = cell.AsString();
+      }
+      // Strip quotes rather than worrying about lexer escape rules.
+      std::string clean;
+      for (char c : v) {
+        if (c != '\'') clean += c;
+      }
+      return "'" + clean + "'";
+    }
+    case DataType::kBool:
+      return "1";
+  }
+  return "0";
+}
+
+void QueryGenerator::PickJoinTree(int num_tables, QuerySpec* q) {
+  int start = rng_.Uniform(0, static_cast<int>(tables_.size()) - 1);
+  q->tables.push_back(tables_[start].name);
+  for (int i = 1; i < num_tables; ++i) {
+    // Collect FK edges with exactly one endpoint in the query.
+    struct Ext {
+      int in_query;  // index into q->tables
+      std::string in_col;
+      int new_tbl;   // index into tables_
+      std::string new_col;
+    };
+    std::vector<Ext> exts;
+    for (const FkEdge& e : edges_) {
+      int a_pos = -1, b_pos = -1;
+      for (size_t j = 0; j < q->tables.size(); ++j) {
+        if (q->tables[j] == tables_[e.a_tbl].name) a_pos = static_cast<int>(j);
+        if (q->tables[j] == tables_[e.b_tbl].name) b_pos = static_cast<int>(j);
+      }
+      if (a_pos >= 0 && b_pos < 0) {
+        exts.push_back({a_pos, e.a_col, e.b_tbl, e.b_col});
+      } else if (b_pos >= 0 && a_pos < 0) {
+        exts.push_back({b_pos, e.b_col, e.a_tbl, e.a_col});
+      }
+    }
+    if (exts.empty()) break;
+    const Ext& pick = exts[rng_.Uniform(0, static_cast<int>(exts.size()) - 1)];
+    int new_pos = static_cast<int>(q->tables.size());
+    q->tables.push_back(tables_[pick.new_tbl].name);
+    q->joins.emplace_back(GenCol{pick.in_query, pick.in_col},
+                          GenCol{new_pos, pick.new_col});
+  }
+  // Occasionally add a redundant equijoin over a shared key domain.
+  if (rng_.NextDouble() < options_.extra_equijoin_prob) {
+    std::vector<std::pair<GenCol, GenCol>> cands;
+    for (const auto& domain : kKeyDomains) {
+      std::vector<GenCol> present;
+      for (const char* col_name : domain) {
+        for (size_t j = 0; j < q->tables.size(); ++j) {
+          const Table* t = catalog_->GetTable(q->tables[j]);
+          if (t->schema().FindColumn(col_name) >= 0) {
+            present.push_back({static_cast<int>(j), col_name});
+          }
+        }
+      }
+      for (size_t x = 0; x < present.size(); ++x) {
+        for (size_t y = x + 1; y < present.size(); ++y) {
+          if (present[x].tbl == present[y].tbl) continue;
+          bool dup = false;
+          for (const auto& [a, b] : q->joins) {
+            if ((SameCol(a, present[x]) && SameCol(b, present[y])) ||
+                (SameCol(a, present[y]) && SameCol(b, present[x]))) {
+              dup = true;
+            }
+          }
+          if (!dup) cands.emplace_back(present[x], present[y]);
+        }
+      }
+    }
+    if (!cands.empty()) {
+      q->joins.push_back(cands[rng_.Uniform(0, static_cast<int>(cands.size()) - 1)]);
+    }
+  }
+}
+
+GenPred QueryGenerator::RandomPred(const QuerySpec& q) {
+  GenPred p;
+  // Pick a random (table, column); retry a few times to avoid bool columns.
+  const TableInfo* ti = nullptr;
+  int col_idx = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int t = rng_.Uniform(0, static_cast<int>(q.tables.size()) - 1);
+    ti = &tables_[TableIndex(q.tables[t])];
+    col_idx = rng_.Uniform(0, ti->table->schema().num_columns() - 1);
+    p.col = {t, ti->table->schema().column(col_idx).name};
+    if (ti->table->schema().column(col_idx).type != DataType::kBool) break;
+  }
+  DataType type = ti->table->schema().column(col_idx).type;
+  int form = rng_.Uniform(0, 9);
+  static const char* kNumOps[] = {"<", "<=", ">", ">=", "=", "<>"};
+  if (type == DataType::kString) {
+    if (form < 5) {
+      p.kind = GenPred::Kind::kCmp;
+      p.op = form < 4 ? "=" : "<>";
+      p.lits.push_back(SampleLiteral(*ti, col_idx));
+    } else if (form < 8) {
+      p.kind = GenPred::Kind::kIn;
+      int n = rng_.Uniform(1, 3);
+      for (int i = 0; i < n; ++i) p.lits.push_back(SampleLiteral(*ti, col_idx));
+    } else {
+      p.kind = GenPred::Kind::kCmp;
+      p.op = form == 8 ? "<" : ">=";
+      p.lits.push_back(SampleLiteral(*ti, col_idx));
+    }
+  } else if (form < 5) {
+    p.kind = GenPred::Kind::kCmp;
+    p.op = kNumOps[rng_.Uniform(0, 5)];
+    p.lits.push_back(SampleLiteral(*ti, col_idx));
+  } else if (form < 7) {
+    p.kind = GenPred::Kind::kBetween;
+    std::string lo = SampleLiteral(*ti, col_idx);
+    std::string hi = SampleLiteral(*ti, col_idx);
+    // Literal rendering sorts correctly for dates; compare numerics by value.
+    if ((type == DataType::kInt64 && std::stoll(lo) > std::stoll(hi)) ||
+        (type == DataType::kDouble && std::stod(lo) > std::stod(hi)) ||
+        (type == DataType::kDate && lo > hi)) {
+      std::swap(lo, hi);
+    }
+    p.lits.push_back(lo);
+    p.lits.push_back(hi);
+  } else if (form < 9 && type == DataType::kInt64) {
+    p.kind = GenPred::Kind::kIn;
+    int n = rng_.Uniform(2, 4);
+    for (int i = 0; i < n; ++i) p.lits.push_back(SampleLiteral(*ti, col_idx));
+  } else {
+    // OR of two comparisons, possibly across different tables.
+    p.kind = GenPred::Kind::kOr;
+    p.op = kNumOps[rng_.Uniform(0, 4)];
+    p.lits.push_back(SampleLiteral(*ti, col_idx));
+    int t2 = rng_.Uniform(0, static_cast<int>(q.tables.size()) - 1);
+    const TableInfo& ti2 = tables_[TableIndex(q.tables[t2])];
+    int col2 = rng_.Uniform(0, ti2.table->schema().num_columns() - 1);
+    DataType type2 = ti2.table->schema().column(col2).type;
+    p.col2 = {t2, ti2.table->schema().column(col2).name};
+    if (type2 == DataType::kString || type2 == DataType::kBool) {
+      p.op2 = "=";
+    } else {
+      p.op2 = kNumOps[rng_.Uniform(0, 4)];
+    }
+    p.lits.push_back(SampleLiteral(ti2, col2));
+  }
+  return p;
+}
+
+void QueryGenerator::AddGroupingAndAggs(QuerySpec* q) {
+  // Prefer low-NDV columns for grouping so aggregates stay meaningful.
+  std::vector<GenCol> low, any;
+  for (size_t t = 0; t < q->tables.size(); ++t) {
+    const TableInfo& ti = tables_[TableIndex(q->tables[t])];
+    for (int c = 0; c < ti.table->schema().num_columns(); ++c) {
+      const ColumnSchema& cs = ti.table->schema().column(c);
+      if (cs.type == DataType::kBool) continue;
+      GenCol gc{static_cast<int>(t), cs.name};
+      any.push_back(gc);
+      if (ti.table->stats_valid() &&
+          c < static_cast<int>(ti.table->stats().columns.size()) &&
+          ti.table->stats().columns[c].ndv <= 60) {
+        low.push_back(gc);
+      }
+    }
+  }
+  const std::vector<GenCol>& pool = low.empty() ? any : low;
+  int n_group = rng_.Uniform(1, 2);
+  for (int i = 0; i < n_group; ++i) {
+    GenCol gc = pool[rng_.Uniform(0, static_cast<int>(pool.size()) - 1)];
+    bool dup = false;
+    for (const auto& g : q->group_cols) {
+      if (SameCol(g, gc)) dup = true;
+    }
+    if (!dup) q->group_cols.push_back(gc);
+  }
+  // Aggregates over numeric columns.
+  std::vector<GenCol> numeric;
+  for (size_t t = 0; t < q->tables.size(); ++t) {
+    const TableInfo& ti = tables_[TableIndex(q->tables[t])];
+    for (int c = 0; c < ti.table->schema().num_columns(); ++c) {
+      const ColumnSchema& cs = ti.table->schema().column(c);
+      if (cs.type == DataType::kInt64 || cs.type == DataType::kDouble) {
+        numeric.push_back({static_cast<int>(t), cs.name});
+      }
+    }
+  }
+  static const char* kAggFns[] = {"sum", "min", "max", "avg", "count"};
+  int n_aggs = rng_.Uniform(1, 3);
+  for (int i = 0; i < n_aggs; ++i) {
+    GenAgg a;
+    if (rng_.Uniform(0, 4) == 0 || numeric.empty()) {
+      a.star = true;
+      a.fn = "count";
+    } else {
+      a.fn = kAggFns[rng_.Uniform(0, 4)];
+      a.col = numeric[rng_.Uniform(0, static_cast<int>(numeric.size()) - 1)];
+    }
+    q->aggs.push_back(std::move(a));
+  }
+  if (rng_.NextDouble() < options_.having_prob) {
+    q->having.present = true;
+    if (rng_.Uniform(0, 1) == 0 || numeric.empty()) {
+      q->having.agg.star = true;
+      q->having.agg.fn = "count";
+      q->having.op = ">";
+      q->having.lit = std::to_string(rng_.Uniform(0, 3));
+    } else {
+      q->having.agg.fn = "sum";
+      q->having.agg.col =
+          numeric[rng_.Uniform(0, static_cast<int>(numeric.size()) - 1)];
+      q->having.op = ">";
+      q->having.lit = "0";
+    }
+  }
+}
+
+void QueryGenerator::AddPlainSelect(QuerySpec* q) {
+  std::vector<GenCol> cols;
+  for (size_t t = 0; t < q->tables.size(); ++t) {
+    const TableInfo& ti = tables_[TableIndex(q->tables[t])];
+    for (int c = 0; c < ti.table->schema().num_columns(); ++c) {
+      const ColumnSchema& cs = ti.table->schema().column(c);
+      if (cs.type == DataType::kBool) continue;
+      cols.push_back({static_cast<int>(t), cs.name});
+    }
+  }
+  bool distinct = rng_.NextDouble() < options_.distinct_prob;
+  int n = distinct ? rng_.Uniform(1, 2) : rng_.Uniform(1, 4);
+  for (int i = 0; i < n; ++i) {
+    GenCol c = cols[rng_.Uniform(0, static_cast<int>(cols.size()) - 1)];
+    bool dup = false;
+    for (const auto& s : q->select_cols) {
+      if (SameCol(s, c)) dup = true;
+    }
+    if (!dup) q->select_cols.push_back(c);
+  }
+  q->distinct = distinct;
+}
+
+QuerySpec QueryGenerator::RandomQuery(int num_tables) {
+  QuerySpec q;
+  PickJoinTree(num_tables, &q);
+  int n_preds = rng_.Uniform(0, options_.max_preds);
+  for (int i = 0; i < n_preds; ++i) q.preds.push_back(RandomPred(q));
+  if (rng_.NextDouble() < options_.group_by_prob) {
+    AddGroupingAndAggs(&q);
+  } else {
+    AddPlainSelect(&q);
+  }
+  if (rng_.NextDouble() < options_.order_by_prob) {
+    q.order_by_item = rng_.Uniform(1, NumSelectItems(q));
+  }
+  return q;
+}
+
+BatchSpec QueryGenerator::NextBatch() {
+  BatchSpec batch;
+  if (rng_.NextDouble() < options_.shared_prefix_prob) {
+    // Shared-prefix batch: common join core + per-statement local predicates
+    // and aggregations — the shapes §3/§4 candidate detection fires on.
+    QuerySpec core;
+    PickJoinTree(rng_.Uniform(1, options_.max_tables), &core);
+    int n_core_preds = rng_.Uniform(0, 2);
+    for (int i = 0; i < n_core_preds; ++i) {
+      core.preds.push_back(RandomPred(core));
+    }
+    int n_stmts = rng_.Uniform(2, std::max(2, options_.max_statements));
+    for (int s = 0; s < n_stmts; ++s) {
+      QuerySpec q = core;
+      int extra = rng_.Uniform(0, 2);
+      for (int i = 0; i < extra; ++i) q.preds.push_back(RandomPred(q));
+      if (rng_.NextDouble() < options_.group_by_prob) {
+        AddGroupingAndAggs(&q);
+      } else {
+        AddPlainSelect(&q);
+      }
+      if (rng_.NextDouble() < options_.order_by_prob) {
+        q.order_by_item = rng_.Uniform(1, NumSelectItems(q));
+      }
+      batch.queries.push_back(std::move(q));
+    }
+  } else {
+    int n_stmts = rng_.Uniform(1, 2);
+    for (int s = 0; s < n_stmts; ++s) {
+      batch.queries.push_back(
+          RandomQuery(rng_.Uniform(1, options_.max_tables)));
+    }
+  }
+  return batch;
+}
+
+}  // namespace subshare::testing

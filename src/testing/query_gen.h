@@ -1,0 +1,146 @@
+// Seeded random SPJG query/batch generator over the TPC-H schema, for the
+// differential fuzzer (see testing/differential.h).
+//
+// Queries are generated as structured BatchSpecs — join trees walked along
+// foreign-key paths (plus occasional non-FK equijoins over shared key
+// domains), range / IN / OR predicates with literals sampled from live
+// catalog statistics and rows, random group-bys and aggregates, DISTINCT,
+// HAVING and ORDER BY — and rendered to SQL with ToSql(). Batches are
+// biased toward shared-prefix statements (same join core, differing local
+// predicates and aggregations) because those are exactly the shapes that
+// produce candidate CSEs. The spec form exists so a failing batch can be
+// shrunk structurally (ShrinkCandidates) instead of textually.
+//
+// Everything is deterministic in (catalog contents, seed).
+#ifndef SUBSHARE_TESTING_QUERY_GEN_H_
+#define SUBSHARE_TESTING_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "util/rng.h"
+
+namespace subshare::testing {
+
+// A column reference: `tbl` indexes QuerySpec::tables, `col` is the schema
+// column name (TPC-H column names are globally unique, so rendering never
+// needs a qualifier).
+struct GenCol {
+  int tbl = 0;
+  std::string col;
+};
+
+// One WHERE predicate.
+struct GenPred {
+  enum class Kind {
+    kCmp,      // col op lits[0]
+    kBetween,  // col between lits[0] and lits[1]
+    kIn,       // col in (lits...)
+    kOr,       // col op lits[0] or col2 op2 lits[1]
+  };
+  Kind kind = Kind::kCmp;
+  GenCol col;
+  std::string op;
+  std::vector<std::string> lits;  // pre-rendered literal texts
+  GenCol col2;                    // kOr second leg
+  std::string op2;
+};
+
+// One aggregate in the SELECT list.
+struct GenAgg {
+  std::string fn;  // sum / count / min / max / avg
+  GenCol col;      // ignored when star
+  bool star = false;
+};
+
+// Optional HAVING conjunct: fn(col) op lit.
+struct GenHaving {
+  bool present = false;
+  GenAgg agg;
+  std::string op;
+  std::string lit;
+};
+
+struct QuerySpec {
+  std::vector<std::string> tables;                // distinct table names
+  std::vector<std::pair<GenCol, GenCol>> joins;   // equijoin column pairs
+  std::vector<GenPred> preds;
+  std::vector<GenCol> group_cols;                 // empty: no GROUP BY
+  std::vector<GenAgg> aggs;                       // with or without grouping
+  std::vector<GenCol> select_cols;                // plain outputs (no aggs)
+  GenHaving having;
+  bool distinct = false;
+  int order_by_item = -1;  // 1-based SELECT-list position; -1: none
+};
+
+struct BatchSpec {
+  uint64_t seed = 0;  // seed that produced this batch (for reports)
+  std::vector<QuerySpec> queries;
+};
+
+// Renders a spec to SQL. Deterministic; shrink-stable.
+std::string ToSql(const QuerySpec& query);
+std::string ToSql(const BatchSpec& batch);
+
+// One-step structural reductions of `batch` for greedy shrinking: drop a
+// statement / table / predicate / grouping column / aggregate / HAVING /
+// DISTINCT / ORDER BY, or shorten an IN list. Every result is a valid,
+// connected query batch that is strictly smaller than the input.
+std::vector<BatchSpec> ShrinkCandidates(const BatchSpec& batch);
+
+struct QueryGenOptions {
+  int max_tables = 4;              // per query
+  int max_statements = 3;          // per batch
+  double shared_prefix_prob = 0.65;  // batches built around a common core
+  double group_by_prob = 0.55;
+  double having_prob = 0.15;
+  double order_by_prob = 0.2;
+  double distinct_prob = 0.1;
+  double extra_equijoin_prob = 0.15;  // non-FK equijoin over key domains
+  int max_preds = 3;               // per statement (beyond the shared core)
+};
+
+class QueryGenerator {
+ public:
+  // `catalog` must hold the TPC-H tables (testing::LoadTpch or
+  // Database::LoadTpch); stats must be computed (LoadTpch does).
+  QueryGenerator(const Catalog* catalog, uint64_t seed,
+                 QueryGenOptions options = {});
+
+  // Next random batch; deterministic in (seed, call index).
+  BatchSpec NextBatch();
+
+ private:
+  struct TableInfo {
+    const Table* table = nullptr;
+    std::string name;
+  };
+  struct FkEdge {
+    int a_tbl;  // indexes into tables_
+    std::string a_col;
+    int b_tbl;
+    std::string b_col;
+  };
+
+  // Random connected table set walked along FK edges; fills tables/joins.
+  void PickJoinTree(int num_tables, QuerySpec* q);
+  GenPred RandomPred(const QuerySpec& q);
+  void AddGroupingAndAggs(QuerySpec* q);
+  void AddPlainSelect(QuerySpec* q);
+  QuerySpec RandomQuery(int num_tables);
+
+  // Literal sampling helpers (from stats / live rows).
+  std::string SampleLiteral(const TableInfo& t, int col_idx);
+  int TableIndex(const std::string& name) const;
+
+  const Catalog* catalog_;
+  QueryGenOptions options_;
+  Rng rng_;
+  std::vector<TableInfo> tables_;
+  std::vector<FkEdge> edges_;
+};
+
+}  // namespace subshare::testing
+
+#endif  // SUBSHARE_TESTING_QUERY_GEN_H_

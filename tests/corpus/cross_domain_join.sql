@@ -1,0 +1,2 @@
+select n_name, count(*) as agg0 from customer, supplier, nation where c_nationkey = s_nationkey and s_nationkey = n_nationkey group by n_name;
+select s_nationkey, sum(c_acctbal) as agg0, avg(s_acctbal) as agg1 from customer, supplier where c_nationkey = s_nationkey group by s_nationkey;

@@ -1,0 +1,3 @@
+select distinct c_mktsegment from customer, nation where c_nationkey = n_nationkey and n_regionkey = 2;
+select * from (select n_regionkey, count(*) as n from nation group by n_regionkey) t;
+select distinct o_orderstatus, o_orderpriority from orders where o_totalprice > 100000.00 order by 1;

@@ -1,0 +1,3 @@
+select s_nationkey, count(*) as agg0 from supplier, nation where s_nationkey = n_nationkey and (n_regionkey = 1 or s_acctbal > 5000.00) group by s_nationkey;
+select n_name, sum(s_acctbal) as agg0 from supplier, nation where s_nationkey = n_nationkey and n_regionkey in (0, 2, 4) group by n_name;
+select r_name, n_name from region, nation where r_regionkey = n_regionkey and n_nationkey in (1, 3, 5, 7) order by 2;

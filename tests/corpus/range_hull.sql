@@ -1,0 +1,2 @@
+select c_nationkey, count(*) as agg0 from customer, orders where c_custkey = o_custkey and c_nationkey > 0 and c_nationkey < 15 group by c_nationkey;
+select c_mktsegment, sum(o_totalprice) as agg0 from customer, orders where c_custkey = o_custkey and c_nationkey >= 5 and c_nationkey < 25 group by c_mktsegment;

@@ -1,0 +1,3 @@
+select c_mktsegment, sum(l_extendedprice) as agg0 from customer, orders, lineitem where c_custkey = o_custkey and o_orderkey = l_orderkey and c_nationkey < 12 group by c_mktsegment;
+select c_nationkey, count(*) as agg0 from customer, orders, lineitem where c_custkey = o_custkey and o_orderkey = l_orderkey and c_nationkey < 20 group by c_nationkey;
+select o_orderpriority, max(l_discount) as agg0, min(l_tax) as agg1 from customer, orders, lineitem where c_custkey = o_custkey and o_orderkey = l_orderkey and c_nationkey between 3 and 18 group by o_orderpriority;

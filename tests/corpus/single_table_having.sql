@@ -1,0 +1,3 @@
+select l_returnflag, l_linestatus, sum(l_quantity) as agg0, avg(l_extendedprice) as agg1 from lineitem where l_shipdate < '1998-06-01' group by l_returnflag, l_linestatus having count(*) > 10;
+select l_returnflag, max(l_discount) as agg0 from lineitem where l_shipdate < '1998-06-01' group by l_returnflag;
+select o_orderstatus, count(*) as agg0 from orders group by o_orderstatus having sum(o_totalprice) > 0;

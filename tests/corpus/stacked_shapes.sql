@@ -1,0 +1,3 @@
+select o_orderpriority, sum(l_extendedprice) as agg0 from lineitem, orders, customer where l_orderkey = o_orderkey and o_custkey = c_custkey and c_nationkey < 15 group by o_orderpriority;
+select c_mktsegment, sum(l_extendedprice) as agg0 from lineitem, orders, customer where l_orderkey = o_orderkey and o_custkey = c_custkey and c_nationkey < 15 group by c_mktsegment;
+select c_nationkey, count(*) as agg0 from lineitem, orders, customer where l_orderkey = o_orderkey and o_custkey = c_custkey and c_nationkey < 15 group by c_nationkey;

@@ -330,5 +330,159 @@ TEST(ExecBatchParityTest, RowPullInsideBatchModeTree) {
   RunBothModes(*nlj);
 }
 
+// Merge join drains, null-filters, and sorts both sides itself; null keys
+// must not pair up (null Compare()s equal to null) and the residual applies
+// inside equal-key rectangles — in both modes, agreeing with the hash join.
+TEST(ExecBatchParityTest, MergeJoinNullKeysAndResidualParity) {
+  Rng rng(31);
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* left = *catalog.CreateTable("l", KV());
+  Table* right = *catalog.CreateTable("r", KV());
+  for (int i = 0; i < 150; ++i) {
+    Value lk = rng.Uniform(0, 7) == 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(rng.Uniform(0, 8));
+    Value rk = rng.Uniform(0, 7) == 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(rng.Uniform(0, 8));
+    left->AppendRow({lk, Value::Int64(rng.Uniform(0, 30))});
+    right->AppendRow({rk, Value::Int64(rng.Uniform(0, 30))});
+  }
+  int lrel = ctx.AddRelation(*left, "l");
+  int rrel = ctx.AddRelation(*right, "r");
+  auto lc = ctx.columns().RelationColumns(lrel);
+  auto rc = ctx.columns().RelationColumns(rrel);
+  auto make_join = [&](PhysOpKind kind) {
+    auto join = MakePhysical(kind);
+    join->join_keys = {{lc[0], rc[0]}};
+    join->join_residual = Expr::Compare(CmpOp::kLt,
+                                        Expr::Column(lc[1], DataType::kInt64),
+                                        Expr::Column(rc[1], DataType::kInt64));
+    join->children = {Scan(left, lc), Scan(right, rc)};
+    join->output = Layout({lc[0], lc[1], rc[1]});
+    return join;
+  };
+  std::vector<std::string> merge = RunBothModes(*make_join(PhysOpKind::kMergeJoin));
+  std::vector<std::string> hash = RunBothModes(*make_join(PhysOpKind::kHashJoin));
+  EXPECT_EQ(merge, hash);
+  for (const std::string& r : merge) {
+    EXPECT_NE(r.substr(0, 5), "NULL|") << "null key joined: " << r;
+  }
+}
+
+// Index NL join probes a base-table sorted index per outer row and has no
+// batch override, so in batch mode the default adapter drives it row-wise
+// over batch-bound children. Null outer keys must probe nothing.
+TEST(ExecBatchParityTest, IndexNlJoinNullOuterKeysParity) {
+  Rng rng(43);
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* outer = *catalog.CreateTable("o", KV());
+  Table* inner = *catalog.CreateTable("i", KV());
+  for (int i = 0; i < 80; ++i) {
+    Value ok = rng.Uniform(0, 5) == 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(rng.Uniform(0, 10));
+    outer->AppendRow({ok, Value::Int64(i)});
+    inner->AppendRow({Value::Int64(rng.Uniform(0, 10)),
+                      Value::Int64(rng.Uniform(0, 50))});
+  }
+  inner->CreateIndex(0);
+  int orel = ctx.AddRelation(*outer, "o");
+  int irel = ctx.AddRelation(*inner, "i");
+  auto oc = ctx.columns().RelationColumns(orel);
+  auto ic = ctx.columns().RelationColumns(irel);
+  auto join = MakePhysical(PhysOpKind::kIndexNlJoin);
+  join->table = inner;
+  join->rel_id = irel;
+  join->input_cols = ic;
+  join->index_range.column_idx = 0;
+  join->join_keys = {{oc[0], ic[0]}};
+  join->filter = Expr::Compare(CmpOp::kLt, Expr::Column(ic[1], DataType::kInt64),
+                               Expr::Literal(Value::Int64(40)));
+  join->children = {Scan(outer, oc)};
+  join->output = Layout({oc[0], oc[1], ic[1]});
+
+  // Reference: hash join of the same spec (inner filter as residual).
+  auto href = MakePhysical(PhysOpKind::kHashJoin);
+  href->join_keys = {{oc[0], ic[0]}};
+  href->join_residual = Expr::Compare(CmpOp::kLt,
+                                      Expr::Column(ic[1], DataType::kInt64),
+                                      Expr::Literal(Value::Int64(40)));
+  href->children = {Scan(outer, oc), Scan(inner, ic)};
+  href->output = Layout({oc[0], oc[1], ic[1]});
+  EXPECT_EQ(RunBothModes(*join), RunBothModes(*href));
+}
+
+// Residual predicates over *fused* scans: both join children carry their own
+// scan filters (applied per window by the fused consumer), the probe side
+// holds nulls, the build side stays on the int-key fast path, and a residual
+// filters the matches.
+TEST(ExecBatchParityTest, FusedScanFiltersWithResidualAndNulls) {
+  Rng rng(59);
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* left = *catalog.CreateTable("l", KV());
+  Table* right = *catalog.CreateTable("r", KV());
+  for (int i = 0; i < 300; ++i) {
+    Value lk = rng.Uniform(0, 8) == 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(rng.Uniform(0, 15));
+    left->AppendRow({lk, Value::Int64(rng.Uniform(0, 100))});
+    right->AppendRow({Value::Int64(rng.Uniform(0, 15)),
+                      Value::Int64(rng.Uniform(0, 100))});
+  }
+  int lrel = ctx.AddRelation(*left, "l");
+  int rrel = ctx.AddRelation(*right, "r");
+  auto lc = ctx.columns().RelationColumns(lrel);
+  auto rc = ctx.columns().RelationColumns(rrel);
+  auto lscan = Scan(left, lc);
+  lscan->filter = Expr::Compare(CmpOp::kLt, Expr::Column(lc[1], DataType::kInt64),
+                                Expr::Literal(Value::Int64(70)));
+  auto rscan = Scan(right, rc);
+  rscan->filter = Expr::Compare(CmpOp::kGe, Expr::Column(rc[1], DataType::kInt64),
+                                Expr::Literal(Value::Int64(20)));
+  auto join = MakePhysical(PhysOpKind::kHashJoin);
+  join->join_keys = {{lc[0], rc[0]}};
+  join->join_residual = Expr::Compare(CmpOp::kLt,
+                                      Expr::Column(lc[1], DataType::kInt64),
+                                      Expr::Column(rc[1], DataType::kInt64));
+  join->children = {std::move(lscan), std::move(rscan)};
+  join->output = Layout({lc[0], lc[1], rc[1]});
+  std::vector<std::string> rows = RunBothModes(*join);
+  for (const std::string& r : rows) {
+    EXPECT_NE(r.substr(0, 5), "NULL|") << "null key joined: " << r;
+  }
+}
+
+// Null group keys compare equal for aggregation, and integral doubles group
+// with themselves only (Value::Hash must agree with Compare for -0.0/0.0 and
+// 2.0); both modes must produce the same groups.
+TEST(ExecBatchParityTest, NullAndDoubleGroupKeysParity) {
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Table* t = *catalog.CreateTable("t", KV(DataType::kDouble));
+  const double keys[] = {2.0, 2.5, -0.0, 0.0, 2.0, 1e18};
+  for (int rep = 0; rep < 3; ++rep) {
+    for (double k : keys) {
+      t->AppendRow({Value::Double(k), Value::Int64(rep)});
+    }
+    t->AppendRow({Value::Null(DataType::kDouble), Value::Int64(rep)});
+  }
+  int rel = ctx.AddRelation(*t, "t");
+  auto cols = ctx.columns().RelationColumns(rel);
+  ColId cnt = ctx.columns().AddSynthetic("cnt", DataType::kInt64);
+  auto agg = MakePhysical(PhysOpKind::kHashAgg);
+  agg->group_cols = {cols[0]};
+  agg->aggs = {{AggFn::kCount, nullptr, cnt}};
+  agg->children = {Scan(t, cols)};
+  agg->output = Layout({cols[0], cnt});
+  std::vector<std::string> rows = RunBothModes(*agg);
+  // 5 groups: {0.0 == -0.0}, {2.0}, {2.5}, {1e18}, {NULL}.
+  EXPECT_EQ(rows.size(), 5u);
+  for (const std::string& r : rows) {
+    if (r.substr(0, 4) == "NULL") {
+      EXPECT_EQ(r, "NULL|3|") << "null group keys must merge";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace subshare

@@ -156,6 +156,49 @@ TEST_F(SqlBindTest, BindErrors) {
           .ok());
 }
 
+// Malformed input found by fuzzing the front end: every case must produce a
+// clean Status (never a CHECK crash), and the valid-but-unusual shapes must
+// execute correctly.
+TEST_F(SqlBindTest, FrontEndHardening) {
+  QueryContext ctx(catalog_);
+  // Duplicate table aliases, plain and explicit.
+  auto dup = sql::BindSql("select n_name from nation, nation", &ctx);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate table alias"),
+            std::string::npos);
+  EXPECT_FALSE(
+      sql::BindSql("select r_name from region r, nation r", &ctx).ok());
+  // Unknown column with qualifier.
+  EXPECT_FALSE(
+      sql::BindSql("select nation.r_name from nation", &ctx).ok());
+  // Empty IN list: a clear parse error, not "unexpected symbol".
+  auto empty_in = ParseSelect("select n_name from nation where n_nationkey in ()");
+  EXPECT_FALSE(empty_in.ok());
+  EXPECT_NE(empty_in.status().message().find("IN list must not be empty"),
+            std::string::npos);
+  // Ambiguous column: exposed by both the base table and a derived table.
+  auto ambig = sql::BindSql(
+      "select n_regionkey from nation, "
+      "(select n_regionkey from nation where n_nationkey < 5) t",
+      &ctx);
+  EXPECT_FALSE(ambig.ok());
+  EXPECT_NE(ambig.status().message().find("ambiguous"), std::string::npos);
+
+  // SELECT * over a derived table used to dereference a null table pointer.
+  std::vector<Row> rows =
+      Run("select * from (select n_name, n_regionkey from nation "
+          "where n_regionkey = 2) t");
+  EXPECT_EQ(rows.size(), 5u);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].size(), 2u);
+  // Mixed base/derived scope: star expands both, in scope order.
+  rows = Run("select * from region, (select n_nationkey from nation "
+             "where n_nationkey < 3) t where r_regionkey = 0");
+  EXPECT_EQ(rows.size(), 3u);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].size(), 4u);  // 3 region columns + 1 derived
+}
+
 TEST_F(SqlBindTest, PredicatePushdownShape) {
   QueryContext ctx(catalog_);
   auto stmts = sql::BindSql(
