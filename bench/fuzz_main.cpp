@@ -1,35 +1,91 @@
 // Standalone differential fuzzer for long runs.
 //
-//   fuzz_main [--seed=N] [--batches=N] [--sf=X] [--stop-on-first]
+//   fuzz_main [--seed=N] [--batches=N] [--sf=X] [--stop-on-first] [--cache]
 //
 // Generates `batches` random query batches (testing/query_gen.h), one
 // generator per seed in [seed, seed+batches), and cross-checks each under
 // row/batch × naive/CSE (testing/differential.h). A failing batch is shrunk
 // and reported with its seed, so `--seed=<that seed> --batches=1` reproduces
 // it exactly. Exits nonzero when any divergence was found.
+//
+// With --cache (or SUBSHARE_FUZZ_CACHE=1), runs the cache-mode checker
+// instead (testing/cache_differential.h): each batch is replayed through
+// the plan cache and CSE result recycler with interleaved random inserts,
+// cross-checked against the naive reference — any stale plan-cache variant
+// or recycled spool served across a version bump diverges.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "api/database.h"
 #include "catalog/catalog.h"
+#include "testing/cache_differential.h"
 #include "testing/differential.h"
 #include "testing/query_gen.h"
 #include "tpch/tpch.h"
 #include "util/check.h"
 
 using subshare::Catalog;
+using subshare::Database;
 using subshare::testing::BatchSpec;
+using subshare::testing::CacheDifferentialTester;
 using subshare::testing::DifferentialTester;
 using subshare::testing::Divergence;
 using subshare::testing::QueryGenerator;
+
+namespace {
+
+int RunCacheMode(uint64_t seed, int batches, double sf) {
+  Database db;
+  CHECK(db.LoadTpch(sf).ok());
+  std::printf("fuzz (cache mode): sf=%g seeds=[%llu, %llu)\n", sf,
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + batches));
+
+  CacheDifferentialTester tester(&db, seed);
+  int divergences = 0;
+  for (int i = 0; i < batches; ++i) {
+    uint64_t batch_seed = seed + static_cast<uint64_t>(i);
+    QueryGenerator gen(&db.catalog(), batch_seed);
+    if (auto d = tester.Check(subshare::testing::ToSql(gen.NextBatch()));
+        d.has_value()) {
+      ++divergences;
+      std::printf("=== divergence at seed %llu ===\n%s\n",
+                  static_cast<unsigned long long>(batch_seed),
+                  d->ToString().c_str());
+    }
+    if ((i + 1) % 100 == 0) {
+      std::printf("  %d/%d batches, %lld statements, %d divergences\n", i + 1,
+                  batches,
+                  static_cast<long long>(tester.statements_checked()),
+                  divergences);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "fuzz (cache mode): %lld batches (%lld skipped as too large), "
+      "%lld statements, %lld plan hits, %lld recycled runs, %d divergences\n",
+      static_cast<long long>(tester.batches_checked()),
+      static_cast<long long>(tester.batches_skipped()),
+      static_cast<long long>(tester.statements_checked()),
+      static_cast<long long>(tester.plan_hits_seen()),
+      static_cast<long long>(tester.recycled_runs_seen()), divergences);
+  return divergences == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   uint64_t seed = 1;
   int batches = 2000;
   double sf = 0.002;
   bool stop_on_first = false;
+  bool cache_mode = false;
   if (const char* env = std::getenv("SUBSHARE_SF")) sf = std::atof(env);
+  if (const char* env = std::getenv("SUBSHARE_FUZZ_CACHE")) {
+    cache_mode = std::atoi(env) != 0;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -39,11 +95,14 @@ int main(int argc, char** argv) {
       sf = std::atof(argv[i] + 5);
     } else if (std::strcmp(argv[i], "--stop-on-first") == 0) {
       stop_on_first = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache_mode = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
   }
+  if (cache_mode) return RunCacheMode(seed, batches, sf);
 
   Catalog catalog;
   subshare::tpch::TpchOptions tpch;

@@ -1,8 +1,11 @@
 #include "api/database.h"
 
+#include "cache/fingerprint.h"
 #include "exec/naive_planner.h"
 #include "sql/binder.h"
+#include "sql/parser.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace subshare {
 
@@ -20,28 +23,84 @@ StatusOr<Table*> Database::CreateTable(const std::string& name,
 
 StatusOr<QueryResult> Database::Execute(const std::string& sql,
                                         const QueryOptions& options) {
-  QueryContext ctx(&catalog_);
-  ASSIGN_OR_RETURN(std::vector<Statement> statements,
-                   sql::BindSql(sql, &ctx));
-
   QueryResult result;
-  for (const Statement& s : statements) {
-    result.column_names.push_back(s.output_names);
-  }
+  WallTimer phase_timer;
 
-  ExecutablePlan plan;
-  if (options.use_naive_plan) {
-    plan = NaivePlanBatch(statements, &ctx);
-  } else {
-    CseQueryOptimizer optimizer(&ctx, options.cse);
-    plan = optimizer.Optimize(statements, &result.metrics);
-  }
-  result.plan_text = plan.ToString(ctx.Namer());
+  ASSIGN_OR_RETURN(std::vector<sql::AstSelectPtr> asts, sql::ParseBatch(sql));
+  result.phases.parse_seconds = phase_timer.ElapsedSeconds();
 
   // EXPLAIN: any explain-flagged statement turns the whole batch into a
   // plan-only request whose single result is the rendered plan.
   bool explain = false;
-  for (const Statement& s : statements) explain |= s.explain;
+  for (const sql::AstSelectPtr& ast : asts) explain |= ast->explain;
+
+  // EXPLAIN and naive-plan runs bypass both caches: neither produces the
+  // optimizer output the caches are contracts over.
+  const bool caches_apply = !explain && !options.use_naive_plan;
+  const bool use_plan_cache = caches_apply && options.cache.plan_cache;
+  const bool use_result_cache = caches_apply && options.cache.result_cache;
+  if (use_plan_cache && plan_cache_ == nullptr) {
+    plan_cache_ = std::make_unique<cache::PlanCache>(&catalog_);
+  }
+  if (use_result_cache && result_cache_ == nullptr) {
+    result_cache_ = std::make_unique<cache::ResultCache>(
+        &catalog_, options.cache.result_budget_bytes);
+  }
+
+  // Fingerprint before binding: assigns each parameterized literal its slot
+  // in place, which the binder threads into Expr literals so an admitted
+  // plan can later be rebound. The fingerprint text is the plan-cache key;
+  // optimizer settings that change plan choice are folded into it.
+  cache::BatchFingerprint fp;
+  if (use_plan_cache) {
+    fp = cache::FingerprintBatch(asts);
+    fp.text += StrFormat(";;cse=%d", options.cse.enable_cse ? 1 : 0);
+  }
+
+  ExecutablePlan plan;
+  bool have_plan = false;
+  if (use_plan_cache) {
+    if (std::optional<cache::PlanCache::Hit> hit = plan_cache_->Lookup(fp)) {
+      plan = std::move(hit->plan);
+      result.column_names = std::move(hit->column_names);
+      result.plan_text = std::move(hit->plan_text);
+      result.cache.plan_cache_hit = true;
+      result.cache.plan_rebound = hit->rebound;
+      have_plan = true;  // bind and optimize are skipped entirely
+    }
+  }
+
+  QueryContext ctx(&catalog_);
+  if (!have_plan) {
+    phase_timer.Reset();
+    std::vector<Statement> statements;
+    statements.reserve(asts.size());
+    for (const sql::AstSelectPtr& ast : asts) {
+      ASSIGN_OR_RETURN(Statement stmt, sql::BindSelect(*ast, &ctx, sql));
+      statements.push_back(std::move(stmt));
+    }
+    result.phases.bind_seconds = phase_timer.ElapsedSeconds();
+    for (const Statement& s : statements) {
+      result.column_names.push_back(s.output_names);
+    }
+
+    phase_timer.Reset();
+    if (options.use_naive_plan) {
+      plan = NaivePlanBatch(statements, &ctx);
+    } else {
+      CseOptimizerOptions cse_options = options.cse;
+      if (use_result_cache) cse_options.result_cache = result_cache_.get();
+      CseQueryOptimizer optimizer(&ctx, cse_options);
+      plan = optimizer.Optimize(statements, &result.metrics);
+    }
+    result.phases.optimize_seconds = phase_timer.ElapsedSeconds();
+    result.plan_text = plan.ToString(ctx.Namer());
+
+    if (use_plan_cache) {
+      plan_cache_->Admit(fp, plan, result.column_names, result.plan_text);
+    }
+  }
+
   if (explain) {
     result.column_names.assign(1, {"plan"});
     StatementResult text;
@@ -53,7 +112,20 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
   }
 
   if (options.execute) {
-    result.statements = ExecutePlan(plan, options.exec, &result.execution);
+    phase_timer.Reset();
+    ExecOptions exec = options.exec;
+    if (use_result_cache) {
+      exec.result_cache = result_cache_.get();
+      exec.admit_results = options.cache.admit_results;
+    }
+    result.statements = ExecutePlan(plan, exec, &result.execution);
+    result.phases.execute_seconds = phase_timer.ElapsedSeconds();
+    result.cache.spools_recycled = result.execution.spools_recycled;
+    result.cache.spools_admitted = result.execution.spools_admitted;
+  }
+  if (plan_cache_ != nullptr) result.cache.plan_stats = plan_cache_->stats();
+  if (result_cache_ != nullptr) {
+    result.cache.result_stats = result_cache_->stats();
   }
   return result;
 }

@@ -1,0 +1,192 @@
+#include "cache/fingerprint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace subshare::cache {
+
+namespace {
+
+using sql::AstExpr;
+using sql::AstExprKind;
+using sql::AstSelect;
+
+const char* CmpName(sql::AstCmp cmp) {
+  switch (cmp) {
+    case sql::AstCmp::kEq: return "=";
+    case sql::AstCmp::kNe: return "<>";
+    case sql::AstCmp::kLt: return "<";
+    case sql::AstCmp::kLe: return "<=";
+    case sql::AstCmp::kGt: return ">";
+    case sql::AstCmp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithName(sql::AstArith op) {
+  switch (op) {
+    case sql::AstArith::kAdd: return "+";
+    case sql::AstArith::kSub: return "-";
+    case sql::AstArith::kMul: return "*";
+    case sql::AstArith::kDiv: return "/";
+  }
+  return "?";
+}
+
+class Fingerprinter {
+ public:
+  BatchFingerprint Run(const std::vector<sql::AstSelectPtr>& batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (i > 0) out_ += ";\n";
+      RenderSelect(*batch[i]);
+    }
+    BatchFingerprint fp;
+    fp.text = std::move(out_);
+    fp.params = std::move(params_);
+    fp.tables.assign(tables_.begin(), tables_.end());
+    return fp;
+  }
+
+ private:
+  void Param(AstExpr& e, Value v) {
+    e.param_slot = static_cast<int>(params_.size());
+    out_ += StrFormat("?%d", e.param_slot);
+    params_.push_back(std::move(v));
+  }
+
+  // `structural` renders literals inline without assigning a slot (ORDER BY
+  // positions: the binder consumes the value at plan time).
+  void RenderExpr(AstExpr& e, bool structural = false) {
+    switch (e.kind) {
+      case AstExprKind::kColumnRef:
+        if (!e.qualifier.empty()) out_ += e.qualifier + ".";
+        out_ += e.name;
+        break;
+      case AstExprKind::kIntLiteral:
+        if (structural) {
+          out_ += StrFormat("%lld", static_cast<long long>(e.int_value));
+        } else {
+          Param(e, Value::Int64(e.int_value));
+        }
+        break;
+      case AstExprKind::kDoubleLiteral:
+        Param(e, Value::Double(e.double_value));
+        break;
+      case AstExprKind::kStringLiteral:
+        Param(e, Value::String(e.string_value));
+        break;
+      case AstExprKind::kComparison:
+        out_ += "(";
+        RenderExpr(*e.children[0]);
+        out_ += StrFormat(" %s ", CmpName(e.cmp));
+        RenderExpr(*e.children[1]);
+        out_ += ")";
+        break;
+      case AstExprKind::kAnd:
+      case AstExprKind::kOr:
+        out_ += "(";
+        RenderExpr(*e.children[0]);
+        out_ += e.kind == AstExprKind::kAnd ? " AND " : " OR ";
+        RenderExpr(*e.children[1]);
+        out_ += ")";
+        break;
+      case AstExprKind::kNot:
+        out_ += "(NOT ";
+        RenderExpr(*e.children[0]);
+        out_ += ")";
+        break;
+      case AstExprKind::kArith:
+        out_ += "(";
+        RenderExpr(*e.children[0]);
+        out_ += StrFormat(" %s ", ArithName(e.arith));
+        RenderExpr(*e.children[1]);
+        out_ += ")";
+        break;
+      case AstExprKind::kAggregate:
+        out_ += e.name + "(";
+        if (e.count_star) {
+          out_ += "*";
+        } else if (!e.children.empty()) {
+          RenderExpr(*e.children[0]);
+        }
+        out_ += ")";
+        break;
+      case AstExprKind::kSubquery:
+        out_ += "(";
+        RenderSelect(*e.subquery);
+        out_ += ")";
+        break;
+    }
+  }
+
+  void RenderSelect(AstSelect& s) {
+    out_ += "SELECT ";
+    if (s.distinct) out_ += "DISTINCT ";
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      if (i > 0) out_ += ", ";
+      if (s.items[i].star) {
+        out_ += "*";
+      } else {
+        RenderExpr(*s.items[i].expr);
+      }
+      if (!s.items[i].alias.empty()) out_ += " AS " + s.items[i].alias;
+    }
+    out_ += " FROM ";
+    for (size_t i = 0; i < s.from.size(); ++i) {
+      if (i > 0) out_ += ", ";
+      if (s.from[i].derived != nullptr) {
+        out_ += "(";
+        RenderSelect(*s.from[i].derived);
+        out_ += ")";
+      } else {
+        out_ += s.from[i].table;
+        tables_.insert(s.from[i].table);
+      }
+      out_ += " " + s.from[i].alias;
+    }
+    if (s.where != nullptr) {
+      out_ += " WHERE ";
+      RenderExpr(*s.where);
+    }
+    if (!s.group_by.empty()) {
+      out_ += " GROUP BY ";
+      for (size_t i = 0; i < s.group_by.size(); ++i) {
+        if (i > 0) out_ += ", ";
+        RenderExpr(*s.group_by[i]);
+      }
+    }
+    if (s.having != nullptr) {
+      out_ += " HAVING ";
+      RenderExpr(*s.having);
+    }
+    if (!s.order_by.empty()) {
+      out_ += " ORDER BY ";
+      for (size_t i = 0; i < s.order_by.size(); ++i) {
+        if (i > 0) out_ += ", ";
+        // Positional ORDER BY integers are structural: the binder turns
+        // them into select-list positions, so parameterizing them would
+        // change the plan shape across "hits".
+        RenderExpr(*s.order_by[i].expr, /*structural=*/true);
+        if (s.order_by[i].descending) out_ += " DESC";
+      }
+    }
+    if (s.limit >= 0) {
+      out_ += StrFormat(" LIMIT %lld", static_cast<long long>(s.limit));
+    }
+  }
+
+  std::string out_;
+  std::vector<Value> params_;
+  std::set<std::string> tables_;
+};
+
+}  // namespace
+
+BatchFingerprint FingerprintBatch(
+    const std::vector<sql::AstSelectPtr>& batch) {
+  return Fingerprinter().Run(batch);
+}
+
+}  // namespace subshare::cache

@@ -1,0 +1,41 @@
+// Statement fingerprints for the cross-batch plan cache.
+//
+// A fingerprint is a canonical rendering of a parsed batch with literals
+// parameterized out as ?N: two batches share a fingerprint iff they are the
+// same statement shape modulo literal values. Fingerprinting also assigns
+// each parameterized literal its slot (AstExpr::param_slot), which the
+// binder threads into Expr literals and the optimizer into index ranges, so
+// a cached physical plan can later be rebound to new literal values.
+//
+// Structural literals are NOT parameterized (they change the plan shape,
+// not just constants): ORDER BY positional references and LIMIT counts are
+// rendered inline.
+#ifndef SUBSHARE_CACHE_FINGERPRINT_H_
+#define SUBSHARE_CACHE_FINGERPRINT_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace subshare::cache {
+
+struct BatchFingerprint {
+  // Canonical text with literals replaced by ?0, ?1, ...
+  std::string text;
+  // The literal value for each slot, in slot order.
+  std::vector<Value> params;
+  // Table names referenced anywhere in the batch (FROM lists of all
+  // statements, derived tables, and subqueries), deduplicated and sorted.
+  std::vector<std::string> tables;
+};
+
+// Fingerprints `batch`, assigning param_slot on every parameterized literal
+// node in place (hence the mutable span).
+BatchFingerprint FingerprintBatch(
+    const std::vector<sql::AstSelectPtr>& batch);
+
+}  // namespace subshare::cache
+
+#endif  // SUBSHARE_CACHE_FINGERPRINT_H_

@@ -1,0 +1,213 @@
+#include "cache/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cache/plan_rebind.h"
+
+namespace subshare::cache {
+
+namespace {
+
+bool IsStringClass(const Value& v) { return v.type() == DataType::kString; }
+bool IsNumericClass(const Value& v) {
+  return v.type() == DataType::kInt64 || v.type() == DataType::kDouble ||
+         v.type() == DataType::kDate;
+}
+
+// -1 / 0 / +1 ordering within one type class; nullopt when incomparable.
+std::optional<int> ClassCompare(const Value& a, const Value& b) {
+  if (IsStringClass(a) && IsStringClass(b)) {
+    int c = a.AsString().compare(b.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (IsNumericClass(a) && IsNumericClass(b)) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return std::nullopt;
+}
+
+bool ExactParamsEqual(const std::vector<Value>& a,
+                      const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].type() != b[i].type()) return false;
+    if (a[i].type() == DataType::kString) {
+      if (a[i].AsString() != b[i].AsString()) return false;
+    } else if (a[i].AsDouble() != b[i].AsDouble()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The rebind gate: same arity, per-slot type equality, and pairwise
+// order/equality-pattern preservation (see the header comment).
+bool RebindCompatible(const std::vector<Value>& cached,
+                      const std::vector<Value>& fresh) {
+  if (cached.size() != fresh.size()) return false;
+  for (size_t i = 0; i < cached.size(); ++i) {
+    if (cached[i].type() != fresh[i].type()) return false;
+  }
+  for (size_t i = 0; i < cached.size(); ++i) {
+    for (size_t j = i + 1; j < cached.size(); ++j) {
+      std::optional<int> old_cmp = ClassCompare(cached[i], cached[j]);
+      if (!old_cmp.has_value()) continue;  // cross-class pair: independent
+      std::optional<int> new_cmp = ClassCompare(fresh[i], fresh[j]);
+      if (!new_cmp.has_value() || *new_cmp != *old_cmp) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PlanCache::DepsValid(const Variant& v) const {
+  for (const auto& [table_id, version] : v.deps) {
+    const Table* t = catalog_->GetTable(table_id);
+    if (t == nullptr || t->version() != version) return false;
+  }
+  return true;
+}
+
+std::optional<PlanCache::Hit> PlanCache::Lookup(const BatchFingerprint& fp) {
+  auto it = entries_.find(fp.text);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  KeyEntry& entry = it->second;
+
+  // Drop variants invalidated by table version bumps (or drops) first.
+  auto stale = std::remove_if(
+      entry.variants.begin(), entry.variants.end(),
+      [&](const Variant& v) { return !DepsValid(v); });
+  stats_.invalidations +=
+      static_cast<int64_t>(entry.variants.end() - stale);
+  entry.variants.erase(stale, entry.variants.end());
+  if (entry.variants.empty()) {
+    entries_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  entry.last_used = ++tick_;
+
+  for (Variant& v : entry.variants) {
+    if (ExactParamsEqual(v.params, fp.params)) {
+      v.last_used = tick_;
+      ++stats_.hits;
+      Hit hit;
+      hit.plan = v.plan;
+      hit.column_names = v.column_names;
+      hit.plan_text = v.plan_text;
+      return hit;
+    }
+  }
+  for (Variant& v : entry.variants) {
+    if (!v.rebindable || !RebindCompatible(v.params, fp.params)) continue;
+    std::optional<ExecutablePlan> rebound = RebindPlan(v.plan, fp.params);
+    if (!rebound.has_value()) continue;
+    v.last_used = tick_;
+    ++stats_.rebind_hits;
+    Hit hit;
+    hit.plan = *rebound;
+    hit.column_names = v.column_names;
+    hit.plan_text = v.plan_text;
+    hit.rebound = true;
+    // Install the rebound plan as an exact variant for these literals, so
+    // repeating them skips the rebind (and its compatibility gate).
+    Variant nv;
+    nv.params = fp.params;
+    nv.plan = std::move(*rebound);
+    nv.rebindable = v.rebindable;
+    nv.deps = v.deps;
+    nv.column_names = v.column_names;
+    nv.plan_text = v.plan_text;
+    nv.last_used = tick_;
+    if (entry.variants.size() >= max_variants_) {
+      auto lru = std::min_element(
+          entry.variants.begin(), entry.variants.end(),
+          [](const Variant& a, const Variant& b) {
+            return a.last_used < b.last_used;
+          });
+      entry.variants.erase(lru);
+    }
+    entry.variants.push_back(std::move(nv));
+    return hit;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void PlanCache::Admit(const BatchFingerprint& fp, ExecutablePlan plan,
+                      std::vector<std::vector<std::string>> column_names,
+                      std::string plan_text) {
+  Variant v;
+  for (const std::string& name : fp.tables) {
+    const Table* t = catalog_->GetTable(name);
+    if (t == nullptr) return;  // unresolvable dependency: don't cache
+    v.deps.emplace_back(t->id(), t->version());
+  }
+  v.params = fp.params;
+  v.rebindable = IsRebindable(plan);
+  v.plan = std::move(plan);
+  v.column_names = std::move(column_names);
+  v.plan_text = std::move(plan_text);
+  v.last_used = ++tick_;
+
+  KeyEntry& entry = entries_[fp.text];
+  entry.last_used = tick_;
+  // Replace an exact-params variant in place; otherwise append, evicting
+  // the least-recently-used variant past the per-key cap.
+  for (Variant& existing : entry.variants) {
+    if (ExactParamsEqual(existing.params, fp.params)) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  if (entry.variants.size() >= max_variants_) {
+    auto lru = std::min_element(
+        entry.variants.begin(), entry.variants.end(),
+        [](const Variant& a, const Variant& b) {
+          return a.last_used < b.last_used;
+        });
+    entry.variants.erase(lru);
+  }
+  entry.variants.push_back(std::move(v));
+
+  while (entries_.size() > max_keys_) {
+    auto lru = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    }
+    entries_.erase(lru);
+  }
+}
+
+int64_t PlanCache::size() const {
+  int64_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    n += static_cast<int64_t>(entry.variants.size());
+  }
+  return n;
+}
+
+int PlanCache::CountVariantsDependingOn(const std::string& name) const {
+  const Table* t = catalog_->GetTable(name);
+  if (t == nullptr) return 0;
+  int n = 0;
+  for (const auto& [key, entry] : entries_) {
+    for (const Variant& v : entry.variants) {
+      for (const auto& [id, version] : v.deps) {
+        if (id == t->id()) {
+          ++n;
+          break;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace subshare::cache

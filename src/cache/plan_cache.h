@@ -1,0 +1,103 @@
+// Cross-batch plan cache.
+//
+// Keyed by the batch fingerprint (cache/fingerprint.h): a repeated
+// statement shape skips bind→optimize entirely. Each fingerprint holds a
+// small set of variants (one per distinct literal vector that was actually
+// optimized). A lookup first tries an exact literal match — the cached
+// ExecutablePlan is shared as-is (plans are immutable during execution) —
+// and then, for rebindable variants, a literal-rebind hit: the plan is
+// cloned with the new literals substituted by slot.
+//
+// Rebinding is gated on the literal ORDER/EQUALITY PATTERN: for every pair
+// of comparable parameters, the new pair must sort the same way the old
+// pair did (and be equal iff the old pair was equal). The optimizer folds
+// same-column range conjuncts to the tightest bound, dedups equal-literal
+// predicates across statements, and detects contradictions — all decisions
+// that stay valid exactly when the pairwise order pattern is preserved.
+//
+// Validity: variants snapshot (table, version) pairs for every referenced
+// table; any mismatch at lookup invalidates the variant. This also covers
+// dropped tables (dangling Table* in the plan are never dereferenced).
+#ifndef SUBSHARE_CACHE_PLAN_CACHE_H_
+#define SUBSHARE_CACHE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "catalog/catalog.h"
+#include "physical/physical_plan.h"
+
+namespace subshare::cache {
+
+struct PlanCacheStats {
+  int64_t hits = 0;         // exact literal match
+  int64_t rebind_hits = 0;  // rebound to new literals
+  int64_t misses = 0;
+  int64_t invalidations = 0;  // variants dropped on version mismatch
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(const Catalog* catalog, size_t max_keys = 256,
+                     size_t max_variants_per_key = 4)
+      : catalog_(catalog),
+        max_keys_(max_keys),
+        max_variants_(max_variants_per_key) {}
+
+  struct Hit {
+    // Shared on an exact hit; a fresh rebound clone on a rebind hit.
+    ExecutablePlan plan;
+    std::vector<std::vector<std::string>> column_names;
+    std::string plan_text;
+    bool rebound = false;
+  };
+
+  std::optional<Hit> Lookup(const BatchFingerprint& fp);
+
+  // Caches the optimized plan for `fp`'s literal vector. Statements that
+  // bypass the optimizer (EXPLAIN, naive mode) must not be admitted.
+  void Admit(const BatchFingerprint& fp, ExecutablePlan plan,
+             std::vector<std::vector<std::string>> column_names,
+             std::string plan_text);
+
+  void Clear() { entries_.clear(); }
+  int64_t size() const;
+  const PlanCacheStats& stats() const { return stats_; }
+
+  // --- test support ---
+  // Variants (across all fingerprints) referencing table `name`.
+  int CountVariantsDependingOn(const std::string& name) const;
+
+ private:
+  struct Variant {
+    std::vector<Value> params;
+    ExecutablePlan plan;
+    bool rebindable = false;
+    std::vector<std::pair<TableId, uint64_t>> deps;
+    std::vector<std::vector<std::string>> column_names;
+    std::string plan_text;
+    uint64_t last_used = 0;
+  };
+  struct KeyEntry {
+    std::vector<Variant> variants;
+    uint64_t last_used = 0;
+  };
+
+  bool DepsValid(const Variant& v) const;
+
+  const Catalog* catalog_;
+  size_t max_keys_;
+  size_t max_variants_;
+  uint64_t tick_ = 0;
+  std::map<std::string, KeyEntry> entries_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace subshare::cache
+
+#endif  // SUBSHARE_CACHE_PLAN_CACHE_H_

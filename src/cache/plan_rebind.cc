@@ -1,0 +1,126 @@
+#include "cache/plan_rebind.h"
+
+#include <utility>
+
+#include "types/date.h"
+
+namespace subshare::cache {
+
+namespace {
+
+bool NodeRebindable(const PhysicalNode& node) {
+  const IndexRange& r = node.index_range;
+  if (r.lo.has_value() && r.lo_slot < 0) return false;
+  if (r.hi.has_value() && r.hi_slot < 0) return false;
+  for (const PhysicalNodePtr& c : node.children) {
+    if (!NodeRebindable(*c)) return false;
+  }
+  return true;
+}
+
+// Substitutes params into slot-tagged literals; returns nullptr on a type
+// mismatch. Reuses the original subtree when nothing below changed.
+ExprPtr RewriteExpr(const ExprPtr& e, const std::vector<Value>& params,
+                    bool* failed) {
+  if (e == nullptr || *failed) return e;
+  if (e->kind == ExprKind::kLiteral) {
+    if (e->param_slot < 0) return e;
+    if (e->param_slot >= static_cast<int>(params.size())) {
+      *failed = true;
+      return e;
+    }
+    Value v = params[e->param_slot];
+    if (v.type() != e->type) {
+      // The binder coerced this literal from string to date; redo it.
+      if (e->type == DataType::kDate && v.type() == DataType::kString) {
+        auto days = ParseIsoDate(v.AsString());
+        if (!days.ok()) {
+          *failed = true;
+          return e;
+        }
+        v = Value::Date(*days);
+      } else {
+        *failed = true;
+        return e;
+      }
+    }
+    return Expr::Literal(std::move(v), e->param_slot);
+  }
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(e->children.size());
+  for (const ExprPtr& c : e->children) {
+    ExprPtr nc = RewriteExpr(c, params, failed);
+    changed |= (nc != c);
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  auto out = std::make_shared<Expr>(*e);
+  out->children = std::move(children);
+  return out;
+}
+
+bool RewriteBound(std::optional<Value>* bound, int slot,
+                  const std::vector<Value>& params) {
+  if (!bound->has_value()) return true;
+  if (slot < 0 || slot >= static_cast<int>(params.size())) return false;
+  Value v = params[slot];
+  if (v.type() != (*bound)->type()) {
+    if ((*bound)->type() == DataType::kDate &&
+        v.type() == DataType::kString) {
+      auto days = ParseIsoDate(v.AsString());
+      if (!days.ok()) return false;
+      v = Value::Date(*days);
+    } else {
+      return false;
+    }
+  }
+  *bound = std::move(v);
+  return true;
+}
+
+PhysicalNodePtr RewriteNode(const PhysicalNode& node,
+                            const std::vector<Value>& params, bool* failed) {
+  auto out = std::make_shared<PhysicalNode>(node);
+  out->filter = RewriteExpr(node.filter, params, failed);
+  out->join_residual = RewriteExpr(node.join_residual, params, failed);
+  out->nl_pred = RewriteExpr(node.nl_pred, params, failed);
+  for (ProjectItem& p : out->projections) {
+    p.expr = RewriteExpr(p.expr, params, failed);
+  }
+  for (AggregateItem& a : out->aggs) {
+    a.arg = RewriteExpr(a.arg, params, failed);
+  }
+  if (!RewriteBound(&out->index_range.lo, node.index_range.lo_slot, params) ||
+      !RewriteBound(&out->index_range.hi, node.index_range.hi_slot, params)) {
+    *failed = true;
+  }
+  out->children.clear();
+  for (const PhysicalNodePtr& c : node.children) {
+    out->children.push_back(RewriteNode(*c, params, failed));
+    if (*failed) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsRebindable(const ExecutablePlan& plan) {
+  // CSE plans embed literal-value-sensitive choices (covering predicates,
+  // range hulls, §4.3 benefit estimates): exact-match reuse only.
+  if (!plan.cse_plans.empty()) return false;
+  return plan.root != nullptr && NodeRebindable(*plan.root);
+}
+
+std::optional<ExecutablePlan> RebindPlan(const ExecutablePlan& plan,
+                                         const std::vector<Value>& params) {
+  if (!IsRebindable(plan)) return std::nullopt;
+  bool failed = false;
+  ExecutablePlan out;
+  out.root = RewriteNode(*plan.root, params, &failed);
+  out.est_cost = plan.est_cost;
+  if (failed) return std::nullopt;
+  return out;
+}
+
+}  // namespace subshare::cache

@@ -1,0 +1,38 @@
+// Literal rebinding for cached physical plans.
+//
+// A cached plan whose literals all carry param_slot provenance can be
+// cloned with new literal values substituted by slot — the plan shape,
+// join order, and index choices are reused; only constants change. The
+// substitution covers scalar expressions (filters, join residuals, NL
+// predicates, projections, aggregate arguments) and index-scan range
+// bounds (IndexRange lo/hi, slot-tagged by the optimizer when it absorbs
+// range conjuncts).
+//
+// Rebinding is refused (nullopt) when the plan is not rebindable: it
+// contains CSE plans (their covering predicates and §4.3 choices are
+// literal-value-sensitive) or an index bound with no slot provenance.
+// Callers fall back to the full bind→optimize path.
+#ifndef SUBSHARE_CACHE_PLAN_REBIND_H_
+#define SUBSHARE_CACHE_PLAN_REBIND_H_
+
+#include <optional>
+#include <vector>
+
+#include "physical/physical_plan.h"
+#include "types/value.h"
+
+namespace subshare::cache {
+
+// True iff `plan` can be soundly rebound to different literal values
+// (given the order/equality-pattern gate in PlanCache::Lookup).
+bool IsRebindable(const ExecutablePlan& plan);
+
+// Clones `plan` with each slot-tagged literal replaced by `params[slot]`.
+// String params substituted into DATE-typed positions are re-coerced
+// (ISO parse); a failed coercion or a type mismatch yields nullopt.
+std::optional<ExecutablePlan> RebindPlan(const ExecutablePlan& plan,
+                                         const std::vector<Value>& params);
+
+}  // namespace subshare::cache
+
+#endif  // SUBSHARE_CACHE_PLAN_REBIND_H_

@@ -1,0 +1,145 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace subshare::cache {
+
+int64_t EstimateRowsBytes(const std::vector<Row>& rows) {
+  int64_t bytes = 0;
+  for (const Row& row : rows) {
+    bytes += static_cast<int64_t>(sizeof(Row));
+    for (const Value& v : row) {
+      bytes += static_cast<int64_t>(sizeof(Value));
+      if (!v.is_null() && v.type() == DataType::kString) {
+        bytes += static_cast<int64_t>(v.AsString().size());
+      }
+    }
+  }
+  return bytes;
+}
+
+bool ResultCache::IsStale(const Entry& e) const {
+  for (const auto& [table_id, version] : e.deps) {
+    const Table* t = catalog_->GetTable(table_id);
+    if (t == nullptr || t->version() != version) return true;
+  }
+  return false;
+}
+
+void ResultCache::Erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+const ResultCache::Entry* ResultCache::Lookup(const std::string& key,
+                                              bool count_stats) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (count_stats) ++stats_.misses;
+    return nullptr;
+  }
+  if (IsStale(it->second)) {
+    ++stats_.invalidations;
+    Erase(key);
+    if (count_stats) ++stats_.misses;
+    return nullptr;
+  }
+  Entry& e = it->second;
+  if (count_stats) {
+    e.last_used = ++tick_;
+    ++e.hits;
+    ++stats_.hits;
+  }
+  return &e;
+}
+
+bool ResultCache::Admit(const std::string& key,
+                        const std::vector<TableId>& dep_tables,
+                        Schema schema, std::vector<Row> rows,
+                        double benefit) {
+  Entry entry;
+  for (TableId id : dep_tables) {
+    const Table* t = catalog_->GetTable(id);
+    if (t == nullptr) {
+      ++stats_.rejected;
+      return false;  // dependency gone; nothing to validate against
+    }
+    entry.deps.emplace_back(id, t->version());
+  }
+  entry.schema = std::move(schema);
+  entry.bytes = EstimateRowsBytes(rows);
+  entry.rows = std::move(rows);
+  entry.benefit = benefit;
+  entry.last_used = ++tick_;
+
+  if (entry.bytes > budget_bytes_) {
+    ++stats_.rejected;
+    return false;
+  }
+  Erase(key);  // replacing an existing entry frees its bytes first
+
+  // Benefit-weighted eviction: free space by dropping the lowest-benefit
+  // residents (LRU within equal benefit), but never one whose benefit
+  // meets or exceeds the newcomer's.
+  while (bytes_used_ + entry.bytes > budget_bytes_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.benefit < victim->second.benefit ||
+          (it->second.benefit == victim->second.benefit &&
+           it->second.last_used < victim->second.last_used)) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end() || victim->second.benefit >= benefit) {
+      ++stats_.rejected;
+      return false;
+    }
+    bytes_used_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+
+  bytes_used_ += entry.bytes;
+  entries_[key] = std::move(entry);
+  ++stats_.admissions;
+  return true;
+}
+
+int ResultCache::CountEntriesDependingOn(TableId table) const {
+  int n = 0;
+  for (const auto& [key, e] : entries_) {
+    for (const auto& [id, version] : e.deps) {
+      if (id == table) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+int ResultCache::CountStale() const {
+  int n = 0;
+  for (const auto& [key, e] : entries_) {
+    if (IsStale(e)) ++n;
+  }
+  return n;
+}
+
+int ResultCache::EvictStale() {
+  std::vector<std::string> stale;
+  for (const auto& [key, e] : entries_) {
+    if (IsStale(e)) stale.push_back(key);
+  }
+  for (const std::string& key : stale) {
+    ++stats_.invalidations;
+    Erase(key);
+  }
+  return static_cast<int>(stale.size());
+}
+
+}  // namespace subshare::cache

@@ -1,0 +1,107 @@
+// Cross-batch CSE result recycler (paper §5–§6 extended across batches).
+//
+// When the optimizer chooses to materialize a candidate CSE, the executor
+// may admit the spooled work table here, keyed by the candidate's canonical
+// [G; {tables}]-style signature (core/cse_key.h) plus the versions of every
+// referenced base table. A later batch whose candidate generation produces
+// the same key gets the artifact injected as a zero-initial-cost
+// materialized candidate: §5.2 costing charges only C_R, and the executor
+// loads the work table from the cache instead of re-evaluating.
+//
+// Validity: an entry is served only while EVERY referenced table's current
+// version equals the version snapshotted at admission. Version mismatches
+// are detected lazily at lookup and count as invalidations.
+//
+// Admission is cost-based: benefit = C_E + C_W saved on a future hit. The
+// cache holds a byte budget; eviction removes ascending-benefit entries
+// (ties broken LRU) and admission is refused rather than evicting
+// higher-benefit residents.
+#ifndef SUBSHARE_CACHE_RESULT_CACHE_H_
+#define SUBSHARE_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace subshare::cache {
+
+struct ResultCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t invalidations = 0;  // entries dropped on a version mismatch
+  int64_t admissions = 0;
+  int64_t evictions = 0;      // budget-pressure removals (not invalidations)
+  int64_t rejected = 0;       // admissions refused (budget / benefit)
+};
+
+class ResultCache {
+ public:
+  static constexpr int64_t kDefaultBudgetBytes = 64ll << 20;
+
+  explicit ResultCache(const Catalog* catalog,
+                       int64_t budget_bytes = kDefaultBudgetBytes)
+      : catalog_(catalog), budget_bytes_(budget_bytes) {}
+
+  struct Entry {
+    std::vector<std::pair<TableId, uint64_t>> deps;  // (table, version)
+    Schema schema;
+    std::vector<Row> rows;
+    double benefit = 0;  // C_E + C_W saved per hit
+    int64_t bytes = 0;
+    uint64_t last_used = 0;
+    int64_t hits = 0;
+  };
+
+  // Returns the entry for `key` if present and valid against current table
+  // versions; a stale entry is erased (counted as an invalidation) and
+  // nullptr returned. `count_stats` controls whether the probe counts as
+  // a hit/miss and refreshes recency — the executor (the authoritative
+  // consumer) passes true; optimizer validity probes pass false so one
+  // Execute() call counts each key at most once. Invalidations are always
+  // counted.
+  const Entry* Lookup(const std::string& key, bool count_stats = true);
+
+  // Admits (or replaces) an entry. Snapshots current versions of
+  // `dep_tables` from the catalog. Returns false when the artifact does
+  // not fit the budget without evicting higher-benefit residents.
+  bool Admit(const std::string& key, const std::vector<TableId>& dep_tables,
+             Schema schema, std::vector<Row> rows, double benefit);
+
+  void Clear() { entries_.clear(); bytes_used_ = 0; }
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t bytes_used() const { return bytes_used_; }
+  int64_t budget_bytes() const { return budget_bytes_; }
+  const ResultCacheStats& stats() const { return stats_; }
+
+  // --- test support ---
+  // Entries (valid or stale) whose deps include `table`.
+  int CountEntriesDependingOn(TableId table) const;
+  // Entries whose snapshotted versions no longer match the live catalog.
+  int CountStale() const;
+  // Drops all stale entries (counted as invalidations); returns the count.
+  int EvictStale();
+
+ private:
+  bool IsStale(const Entry& e) const;
+  void Erase(const std::string& key);
+
+  const Catalog* catalog_;
+  int64_t budget_bytes_;
+  int64_t bytes_used_ = 0;
+  uint64_t tick_ = 0;
+  std::map<std::string, Entry> entries_;
+  ResultCacheStats stats_;
+};
+
+// Approximate in-memory footprint of a spooled result.
+int64_t EstimateRowsBytes(const std::vector<Row>& rows);
+
+}  // namespace subshare::cache
+
+#endif  // SUBSHARE_CACHE_RESULT_CACHE_H_

@@ -1,0 +1,176 @@
+#include "core/cse_key.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace subshare {
+
+namespace {
+
+// Full-precision literal rendering. Value::ToString truncates doubles to
+// two decimals, which would collide distinct predicates into one key.
+std::string RenderValue(const Value& v) {
+  if (v.is_null()) return "NULL";
+  switch (v.type()) {
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(v.AsInt64()));
+    case DataType::kDouble:
+      return StrFormat("%.17g", v.AsDouble());
+    case DataType::kDate:
+      return StrFormat("date:%lld", static_cast<long long>(v.AsInt64()));
+    case DataType::kBool:
+      return v.AsBool() ? "true" : "false";
+    case DataType::kString:
+      return StrFormat("str%zu:", v.AsString().size()) + v.AsString();
+  }
+  return "?";
+}
+
+const char* CmpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+class KeyBuilder {
+ public:
+  explicit KeyBuilder(const QueryContext& ctx) : ctx_(ctx) {}
+
+  bool failed() const { return failed_; }
+
+  std::string ColName(ColId col) {
+    ColumnInfo info = ctx_.columns().info(col);
+    if (!info.is_canonical || info.table_id < 0) {
+      failed_ = true;
+      return "<noncanonical>";
+    }
+    const Table* t = ctx_.catalog()->GetTable(info.table_id);
+    if (t == nullptr) {
+      failed_ = true;
+      return "<dropped>";
+    }
+    return t->name() + "." + info.name;
+  }
+
+  std::string RenderExpr(const ExprPtr& e) {
+    if (e == nullptr) return "null";
+    switch (e->kind) {
+      case ExprKind::kColumn:
+        return ColName(e->column);
+      case ExprKind::kLiteral:
+        return RenderValue(e->literal);
+      case ExprKind::kComparison:
+        return "(" + RenderExpr(e->children[0]) + CmpName(e->cmp) +
+               RenderExpr(e->children[1]) + ")";
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        // AND/OR are commutative: sort operand renderings so argument
+        // order never splits keys.
+        std::vector<std::string> parts;
+        parts.reserve(e->children.size());
+        for (const ExprPtr& c : e->children) parts.push_back(RenderExpr(c));
+        std::sort(parts.begin(), parts.end());
+        return std::string(e->kind == ExprKind::kAnd ? "and(" : "or(") +
+               Join(parts, ",") + ")";
+      }
+      case ExprKind::kNot:
+        return "not(" + RenderExpr(e->children[0]) + ")";
+      case ExprKind::kArith:
+        return "(" + RenderExpr(e->children[0]) + ArithName(e->arith) +
+               RenderExpr(e->children[1]) + ")";
+      case ExprKind::kBoundColumn:
+        failed_ = true;  // execution-only kind; never in a canonical spec
+        return "<bound>";
+    }
+    return "?";
+  }
+
+ private:
+  const QueryContext& ctx_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::optional<CseCacheKey> BuildCseCacheKey(const CseSpec& spec,
+                                            const CseArtifacts& artifacts,
+                                            const QueryContext& ctx) {
+  KeyBuilder b(ctx);
+  std::string key = "sig=" + spec.signature.ToString(ctx.catalog());
+
+  // Conjuncts are a set: sort the renderings.
+  std::vector<std::string> conjuncts;
+  conjuncts.reserve(spec.conjuncts.size());
+  for (const ExprPtr& c : spec.conjuncts) {
+    conjuncts.push_back(b.RenderExpr(c));
+  }
+  std::sort(conjuncts.begin(), conjuncts.end());
+  key += ";pred=" + Join(conjuncts, "&");
+
+  if (spec.has_groupby) {
+    std::vector<std::string> groups;
+    groups.reserve(spec.group_cols.size());
+    for (ColId g : spec.group_cols) groups.push_back(b.ColName(g));
+    std::sort(groups.begin(), groups.end());
+    key += ";group=" + Join(groups, ",");
+  }
+
+  // The spool layout, in schema order: each column described canonically
+  // (plain column or aggregate). A hit therefore guarantees the cached
+  // rows are layout-compatible with the new batch's work table.
+  std::vector<std::string> layout(artifacts.spool_cols.size());
+  std::vector<bool> described(artifacts.spool_cols.size(), false);
+  auto position_of = [&](ColId col) -> int {
+    for (size_t i = 0; i < artifacts.spool_cols.size(); ++i) {
+      if (artifacts.spool_cols[i] == col) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const auto& [canon, spool_col] : artifacts.canon_to_spool) {
+    int pos = position_of(spool_col);
+    if (pos < 0) return std::nullopt;
+    layout[pos] = b.ColName(canon);
+    described[pos] = true;
+  }
+  for (size_t i = 0; i < spec.aggs.size(); ++i) {
+    if (i >= artifacts.agg_spool_cols.size()) return std::nullopt;
+    int pos = position_of(artifacts.agg_spool_cols[i]);
+    if (pos < 0) return std::nullopt;
+    layout[pos] = std::string(AggFnName(spec.aggs[i].first)) + "(" +
+                  b.RenderExpr(spec.aggs[i].second) + ")";
+    described[pos] = true;
+  }
+  for (bool d : described) {
+    if (!d) return std::nullopt;  // spool column with unknown provenance
+  }
+  key += ";spool=" + Join(layout, ",");
+
+  if (b.failed()) return std::nullopt;
+
+  CseCacheKey out;
+  out.key = std::move(key);
+  std::set<TableId> deps(spec.signature.tables.begin(),
+                         spec.signature.tables.end());
+  out.dep_tables.assign(deps.begin(), deps.end());
+  return out;
+}
+
+}  // namespace subshare

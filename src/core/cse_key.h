@@ -1,0 +1,37 @@
+// Cross-batch canonical keys for candidate CSEs.
+//
+// A candidate's batch-local identity lives in per-QueryContext ColIds; to
+// recognize "the same subexpression" across batches (for the result
+// recycler, cache/result_cache.h) the candidate is re-rendered in
+// context-independent terms: the [G; {tables}] signature by table NAME,
+// conjuncts/aggregates with columns as "table.column" and literals at full
+// precision, and the spool schema as an ordered column descriptor. Two
+// candidates from different batches produce the same key iff their spooled
+// work tables are row-for-row interchangeable (given equal base-table
+// versions, which the cache checks separately).
+#ifndef SUBSHARE_CORE_CSE_KEY_H_
+#define SUBSHARE_CORE_CSE_KEY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/view_match.h"
+
+namespace subshare {
+
+struct CseCacheKey {
+  std::string key;
+  std::vector<TableId> dep_tables;  // deduplicated signature tables
+};
+
+// Builds the cross-batch key, or nullopt when the candidate cannot be
+// canonically rendered (non-canonical columns — never expected for
+// generated candidates, but treated as "don't cache" rather than a CHECK).
+std::optional<CseCacheKey> BuildCseCacheKey(const CseSpec& spec,
+                                            const CseArtifacts& artifacts,
+                                            const QueryContext& ctx);
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_CORE_CSE_KEY_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cache/result_cache.h"
+#include "core/cse_key.h"
 #include "optimizer/cost_model.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -151,7 +153,10 @@ PhysicalNodePtr CseQueryOptimizer::Enumerate(GroupId root, int n,
     }
     uint64_t used = 0;
     for (const auto& [id, count] : plan->cse_uses) {
-      if (count >= 2 && (s >> id & 1)) used |= (1ULL << id);
+      // Recycled candidates pay no initial cost, so even a single reader
+      // keeps them in the used set (§5.2 discard does not apply).
+      int min_uses = optimizer_->candidate(id).recycled ? 1 : 2;
+      if (count >= min_uses && (s >> id & 1)) used |= (1ULL << id);
     }
     apply_props(s, used);
     bool improved = plan->est_cost < best->est_cost;
@@ -185,6 +190,9 @@ ExecutablePlan CseQueryOptimizer::Optimize(
     ExecutablePlan exec = optimizer_->Assemble(std::move(plan), enabled);
     m->final_cost = exec.est_cost;
     m->used_cses = static_cast<int>(exec.cse_plans.size());
+    for (const auto& cp : exec.cse_plans) {
+      if (cp.recycled) ++m->results_recycled;
+    }
     m->optimize_seconds = timer.ElapsedSeconds();
     m->plan_computations = optimizer_->plan_computations();
     m->trace.chosen_set = enabled.Raw();
@@ -353,6 +361,30 @@ ExecutablePlan CseQueryOptimizer::Optimize(
     info.spool_read_cost = CostModel::SpoolReadCost(rows, width);
     info.spool_schema = artifacts[i].spool_schema;
     info.output_cols = artifacts[i].spool_cols;
+
+    // Cross-batch recycling: probe the result cache with the candidate's
+    // canonical key. A valid hit makes the candidate free to "materialize"
+    // (the executor will load the cached spool), so costing charges C_R
+    // only. The key is attached regardless so the executor can admit a
+    // freshly evaluated spool after execution.
+    std::optional<CseCacheKey> key =
+        BuildCseCacheKey(specs[i], artifacts[i], *ctx_);
+    if (key.has_value()) {
+      info.cache_key = key->key;
+      info.dep_tables = key->dep_tables;
+      if (options_.result_cache != nullptr) {
+        bool hit = options_.result_cache->Lookup(info.cache_key,
+                                                 /*count_stats=*/false) !=
+                   nullptr;
+        if (hit) {
+          info.recycled = true;
+          ++m->recyclable_candidates;
+        }
+        m->trace.cache_events.push_back(
+            StrFormat("cse %d: recycler %s  %s", static_cast<int>(i),
+                      hit ? "hit" : "miss", info.cache_key.c_str()));
+      }
+    }
     optimizer_->memo().group(artifacts[i].cseref_group).cardinality = rows;
     int id = optimizer_->RegisterCandidate(std::move(info));
     CHECK(id == static_cast<int>(i));

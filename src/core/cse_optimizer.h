@@ -22,6 +22,10 @@
 
 namespace subshare {
 
+namespace cache {
+class ResultCache;
+}  // namespace cache
+
 struct CseOptimizerOptions {
   bool enable_cse = true;
   bool enable_heuristics = true;    // Heuristics 1–4
@@ -37,6 +41,10 @@ struct CseOptimizerOptions {
   int max_candidates = 12;
   // Hard cap on CSE re-optimizations.
   int max_optimizations = 512;
+  // Cross-batch result recycler (not owned; nullptr = disabled). When set,
+  // candidates whose canonical key hits a valid cached spool are costed as
+  // already-materialized: zero initial cost, C_R per read.
+  cache::ResultCache* result_cache = nullptr;
   OptimizerOptions optimizer;
 };
 
@@ -46,6 +54,10 @@ struct CseMetrics {
   int candidates_after_pruning = 0;   // reported as "# of CSEs"
   int cse_optimizations = 0;          // reported as "[CSE Opt]"
   int used_cses = 0;
+  // Cross-batch recycling: candidates whose key hit the result cache at
+  // registration, and how many of those made it into the chosen plan.
+  int recyclable_candidates = 0;
+  int results_recycled = 0;
   double normal_cost = 0;             // best plan cost without CSEs
   double final_cost = 0;
   double optimize_seconds = 0;

@@ -82,6 +82,14 @@ std::string OptTrace::ExplainTrace() const {
         static_cast<long long>(skipped_prop56));
   }
 
+  if (!cache_events.empty()) {
+    out += StrFormat("cross-batch cache: %d event(s)\n",
+                     static_cast<int>(cache_events.size()));
+    for (const std::string& e : cache_events) {
+      out += "  " + e + "\n";
+    }
+  }
+
   out += StrFormat("chosen set: %s  (normal cost %.2f -> final cost %.2f)\n",
                    MaskToString(chosen_set).c_str(), normal_cost, final_cost);
   return out;

@@ -57,6 +57,10 @@ struct OptTrace {
   std::vector<Prune> prunes;
   std::vector<Candidate> candidates;
   std::vector<EnumStep> enumeration;
+  // Cross-batch cache decisions: result-recycler probes during candidate
+  // registration ("cse N: recycler hit/miss <key>") and, when the executor
+  // reports back, admissions/evictions.
+  std::vector<std::string> cache_events;
   // Enabled sets marked redundant without optimization (Props 5.4–5.6).
   int64_t skipped_prop54 = 0;
   int64_t skipped_prop55 = 0;

@@ -50,9 +50,28 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
   // Materialize each chosen CSE once (paper: the spool operator writes the
   // result into an internal work table). The batched path hands whole
   // RowBatches to the work table instead of appending row by row.
+  //
+  // With a result cache attached, a keyed spool whose cached artifact is
+  // still valid is installed straight from the cache (only the C_R reads
+  // remain — the §5.2 recycled costing); freshly evaluated keyed spools are
+  // admitted with benefit = the initial cost (C_E + C_W) a future hit saves.
+  // The check is deliberately independent of `cse.recycled`: a plan-cache
+  // hit replays a plan costed cold, but its spool may be cached by now.
+  int64_t spools_recycled = 0;
+  int64_t spools_admitted = 0;
   for (const ExecutablePlan::CsePlan& cse : plan.cse_plans) {
     ctx.phase = StrFormat("cse %d", cse.cse_id);
     WorkTable* wt = work_tables.Create(cse.cse_id, cse.spool_schema);
+    if (options.result_cache != nullptr && !cse.cache_key.empty()) {
+      const cache::ResultCache::Entry* entry =
+          options.result_cache->Lookup(cse.cache_key, /*count_stats=*/true);
+      if (entry != nullptr) {
+        std::vector<Row> rows = entry->rows;  // copy: entry stays resident
+        wt->AppendBatch(rows.data(), static_cast<int64_t>(rows.size()));
+        ++spools_recycled;
+        continue;
+      }
+    }
     std::unique_ptr<Operator> op = BuildOperator(*cse.plan, &ctx);
     op->Open();
     if (ctx.mode == ExecMode::kBatch) {
@@ -67,6 +86,14 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
         ++ctx.rows_spooled;
         wt->AppendRow(std::move(row));
         row = Row();
+      }
+    }
+    if (options.result_cache != nullptr && options.admit_results &&
+        !cse.cache_key.empty()) {
+      if (options.result_cache->Admit(cse.cache_key, cse.dep_tables,
+                                      cse.spool_schema, wt->rows(),
+                                      cse.initial_cost)) {
+        ++spools_admitted;
       }
     }
   }
@@ -86,6 +113,8 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
     metrics->rows_scanned = ctx.rows_scanned;
     metrics->rows_spooled = ctx.rows_spooled;
     metrics->spool_rows_read = ctx.spool_rows_read;
+    metrics->spools_recycled = spools_recycled;
+    metrics->spools_admitted = spools_admitted;
     metrics->elapsed_seconds = timer.ElapsedSeconds();
     metrics->operators.clear();
     metrics->operators.reserve(ctx.op_stats().size());

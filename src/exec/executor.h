@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "physical/operators.h"
 #include "physical/physical_plan.h"
 
@@ -28,6 +29,12 @@ struct ExecOptions {
   // per batch; per-row in row-at-a-time mode). Benchmarks comparing modes
   // turn this off so neither path pays for instrumentation.
   bool time_operators = true;
+  // Cross-batch CSE result recycler (not owned; nullptr = disabled). For
+  // each keyed CsePlan, a valid cached spool is installed into the work
+  // table instead of evaluating the plan; freshly evaluated spools are
+  // admitted when `admit_results` is set.
+  cache::ResultCache* result_cache = nullptr;
+  bool admit_results = true;
 };
 
 // One operator instance's counters, in pre-order plan position.
@@ -46,6 +53,8 @@ struct ExecutionMetrics {
   int64_t rows_scanned = 0;       // base-table + work-table rows read
   int64_t rows_spooled = 0;       // rows written into CSE work tables
   int64_t spool_rows_read = 0;    // rows read back from work tables
+  int64_t spools_recycled = 0;    // work tables served from the result cache
+  int64_t spools_admitted = 0;    // freshly evaluated spools admitted
   double elapsed_seconds = 0;
   std::vector<OperatorMetrics> operators;  // empty when metrics not requested
 

@@ -78,6 +78,14 @@ ExprPtr Expr::Literal(Value v) {
   return e;
 }
 
+ExprPtr Expr::Literal(Value v, int param_slot) {
+  auto e = NewExpr(ExprKind::kLiteral);
+  e->type = v.type();
+  e->literal = std::move(v);
+  e->param_slot = param_slot;
+  return e;
+}
+
 ExprPtr Expr::Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
   // Canonical form: if the left side is a literal and the right is not,
   // flip so matching logic only handles "expr op literal".

@@ -41,6 +41,9 @@ struct Expr {
   ColId column = kInvalidColId;    // kColumn
   int bound_index = -1;            // kBoundColumn
   Value literal;                   // kLiteral
+  // kLiteral: plan-cache parameter slot this literal came from, or -1.
+  // Ignored by ExprEquals/ExprHash — it is provenance, not identity.
+  int param_slot = -1;
   CmpOp cmp = CmpOp::kEq;          // kComparison
   ArithOp arith = ArithOp::kAdd;   // kArith
   std::vector<ExprPtr> children;
@@ -49,6 +52,7 @@ struct Expr {
   static ExprPtr Column(ColId col, DataType type);
   static ExprPtr Bound(int index, DataType type);
   static ExprPtr Literal(Value v);
+  static ExprPtr Literal(Value v, int param_slot);
   // Canonicalizes literal-vs-column comparisons to put the column first.
   static ExprPtr Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
   static ExprPtr And(std::vector<ExprPtr> conjuncts);  // flattens nested ANDs

@@ -36,18 +36,24 @@ bool RangeSatisfies(const ValueRange& r, CmpOp op, const Value& c) {
 }  // namespace
 
 void ValueRange::Apply(CmpOp op, const Value& constant) {
+  Apply(op, constant, /*slot=*/-1);
+}
+
+void ValueRange::Apply(CmpOp op, const Value& constant, int slot) {
   switch (op) {
     case CmpOp::kLt:
       if (!hi || constant.Compare(*hi) < 0 ||
           (constant.Compare(*hi) == 0 && hi_inclusive)) {
         hi = constant;
         hi_inclusive = false;
+        hi_slot = slot;
       }
       break;
     case CmpOp::kLe:
       if (!hi || constant.Compare(*hi) < 0) {
         hi = constant;
         hi_inclusive = true;
+        hi_slot = slot;
       }
       break;
     case CmpOp::kGt:
@@ -55,17 +61,19 @@ void ValueRange::Apply(CmpOp op, const Value& constant) {
           (constant.Compare(*lo) == 0 && lo_inclusive)) {
         lo = constant;
         lo_inclusive = false;
+        lo_slot = slot;
       }
       break;
     case CmpOp::kGe:
       if (!lo || constant.Compare(*lo) > 0) {
         lo = constant;
         lo_inclusive = true;
+        lo_slot = slot;
       }
       break;
     case CmpOp::kEq:
-      Apply(CmpOp::kLe, constant);
-      Apply(CmpOp::kGe, constant);
+      Apply(CmpOp::kLe, constant, slot);
+      Apply(CmpOp::kGe, constant, slot);
       break;
     case CmpOp::kNe:
       break;  // carries no interval information

@@ -29,9 +29,17 @@ struct ValueRange {
   std::optional<Value> hi;
   bool hi_inclusive = true;
   bool contradictory = false;  // e.g. x > 5 AND x < 3
+  // Plan-cache parameter slots of the literals that currently supply each
+  // bound (-1 when the bound is absent or came from an untagged literal).
+  int lo_slot = -1;
+  int hi_slot = -1;
 
   // Narrows this range with `op const`.
   void Apply(CmpOp op, const Value& constant);
+  // As above, recording `slot` as the provenance of any bound the constant
+  // wins (the tightest-bound semantics mean a looser conjunct's slot is
+  // dropped, which the plan-cache rebind gate accounts for).
+  void Apply(CmpOp op, const Value& constant, int slot);
 };
 
 // Interval of `col` implied by `premise` (consulting `eq` so that conjuncts

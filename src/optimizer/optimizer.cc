@@ -130,6 +130,14 @@ bool Optimizer::FinalizeCseAt(GroupId g, PhysicalNode* plan,
       if (!here) continue;
       auto it = plan->cse_uses.find(cand.id);
       if (it == plan->cse_uses.end() || IsFinalized(*plan, cand.id)) continue;
+      if (cand.recycled) {
+        // The spool already exists in the cross-batch cache: no initial
+        // cost to charge and no single-consumer discard (even one reader
+        // profits). Finalize to mark the charge (of zero) as applied.
+        plan->cse_finalized.push_back(cand.id);
+        progressed = true;
+        continue;
+      }
       if (it->second <= 1) return false;  // paper: discard single-consumer
       PhysicalNodePtr eval =
           BestPlan(cand.eval_group, enabled.Minus(Bitset64::Single(cand.id)));
@@ -247,7 +255,14 @@ Optimizer::ImplementResult Optimizer::ImplementExpr(GroupId g,
             Value c2const;
             if (IsColumnVsConstant(c2, &c2col, &c2op, &c2const) &&
                 c2col == col && c2op != CmpOp::kNe) {
-              range.Apply(c2op, c2const);
+              // Track the winning literal's plan-cache slot so cached
+              // plans can rebind the absorbed bound (canonical form puts
+              // the literal in children[1]).
+              int slot = c2->children.size() == 2 &&
+                                 c2->children[1]->kind == ExprKind::kLiteral
+                             ? c2->children[1]->param_slot
+                             : -1;
+              range.Apply(c2op, c2const, slot);
             } else {
               residual.push_back(c2);
             }
@@ -263,10 +278,12 @@ Optimizer::ImplementResult Optimizer::ImplementExpr(GroupId g,
           if (range.lo) {
             scan->index_range.lo = *range.lo;
             scan->index_range.lo_inclusive = range.lo_inclusive;
+            scan->index_range.lo_slot = range.lo_slot;
           }
           if (range.hi) {
             scan->index_range.hi = *range.hi;
             scan->index_range.hi_inclusive = range.hi_inclusive;
+            scan->index_range.hi_slot = range.hi_slot;
           }
           scan->filter = CombineConjuncts(residual);
           scan->est_cost = CostModel::IndexScan(matched, width);
@@ -487,13 +504,20 @@ void Optimizer::CollectUsedCandidates(const PhysicalNode& plan,
   if (plan.kind == PhysOpKind::kSpoolScan) {
     int id = plan.cse_id;
     if (visited->insert(id).second) {
-      PhysicalNodePtr eval =
-          BestPlan(candidates_[id].eval_group,
-                   enabled.Minus(Bitset64::Single(id)));
-      CHECK(eval != nullptr);
-      CollectUsedCandidates(*eval, enabled.Minus(Bitset64::Single(id)),
-                            order, visited);
-      order->push_back(id);
+      if (candidates_[id].recycled) {
+        // Recycled spools load from the cross-batch cache; the fallback
+        // evaluation plan is built under the empty enabled set (see
+        // Assemble) and reads no other spools, so no dependencies.
+        order->push_back(id);
+      } else {
+        PhysicalNodePtr eval =
+            BestPlan(candidates_[id].eval_group,
+                     enabled.Minus(Bitset64::Single(id)));
+        CHECK(eval != nullptr);
+        CollectUsedCandidates(*eval, enabled.Minus(Bitset64::Single(id)),
+                              order, visited);
+        order->push_back(id);
+      }
     }
   }
 }
@@ -510,11 +534,19 @@ ExecutablePlan Optimizer::Assemble(PhysicalNodePtr root_plan,
     const CseCandidateInfo& cand = candidates_[id];
     ExecutablePlan::CsePlan cse;
     cse.cse_id = id;
+    // A recycled candidate's plan is a self-contained fallback (empty
+    // enabled set): it only runs if the cache entry was evicted between
+    // optimization and execution.
     cse.plan = BestPlan(cand.eval_group,
-                        enabled.Minus(Bitset64::Single(id)));
+                        cand.recycled ? Bitset64()
+                                      : enabled.Minus(Bitset64::Single(id)));
     CHECK(cse.plan != nullptr);
     cse.spool_schema = cand.spool_schema;
     cse.output = cand.output_cols;
+    cse.cache_key = cand.cache_key;
+    cse.dep_tables = cand.dep_tables;
+    cse.recycled = cand.recycled;
+    cse.initial_cost = cse.plan->est_cost + cand.spool_write_cost;
     plan.cse_plans.push_back(std::move(cse));
   }
   return plan;

@@ -37,6 +37,14 @@ struct CseCandidateInfo {
   double spool_read_cost = 0;   // C_R (per consumer)
   Schema spool_schema;
   std::vector<ColId> output_cols;
+
+  // Cross-batch result recycling (core/cse_key.h, cache/result_cache.h).
+  // `recycled` marks a candidate whose spool is already cached from an
+  // earlier batch: costing charges no initial cost (C_R only, §5.2 with
+  // C_E + C_W = 0) and the single-consumer discard does not apply.
+  bool recycled = false;
+  std::string cache_key;
+  std::vector<TableId> dep_tables;
 };
 
 struct OptimizerOptions {

@@ -43,6 +43,10 @@ struct IndexRange {
   bool lo_inclusive = true;
   std::optional<Value> hi;
   bool hi_inclusive = true;
+  // Plan-cache parameter slots the bounds came from (-1 = constant folded
+  // from an untagged literal; such plans are not literal-rebindable).
+  int lo_slot = -1;
+  int hi_slot = -1;
 };
 
 struct PhysicalNode {
@@ -113,6 +117,18 @@ struct ExecutablePlan {
     PhysicalNodePtr plan;
     Schema spool_schema;        // schema of the work table
     std::vector<ColId> output;  // ColIds matching spool_schema order
+
+    // Cross-batch result-recycler annotations (empty/false when the
+    // candidate is batch-local). `cache_key` is the canonical
+    // [G; {tables}]-style signature; `dep_tables` the base tables whose
+    // versions gate validity. `recycled` means the optimizer costed this
+    // candidate as a cache hit (charged C_R only); the executor then loads
+    // the spool from the ResultCache instead of running `plan`.
+    std::string cache_key;
+    std::vector<TableId> dep_tables;
+    bool recycled = false;
+    // C_E + C_W the executor saves on a hit / banks on admission.
+    double initial_cost = 0;
   };
   std::vector<CsePlan> cse_plans;
   double est_cost = 0;

@@ -46,6 +46,9 @@ struct AstExpr {
   AstCmp cmp = AstCmp::kEq;
   AstArith arith = AstArith::kAdd;
   bool count_star = false;
+  // Parameter slot assigned by cache::FingerprintBatch when the literal is
+  // parameterized out of the statement fingerprint; -1 = not a parameter.
+  int param_slot = -1;
 
   std::vector<std::unique_ptr<AstExpr>> children;
   std::unique_ptr<AstSelect> subquery;

@@ -203,7 +203,7 @@ StatusOr<ExprPtr> Binder::BindComparison(const AstExpr& ast, bool above_agg,
         (*str_side)->type == DataType::kString) {
       ASSIGN_OR_RETURN(int64_t days,
                        ParseIsoDate((*str_side)->literal.AsString()));
-      *str_side = Expr::Literal(Value::Date(days));
+      *str_side = Expr::Literal(Value::Date(days), (*str_side)->param_slot);
     }
     return Status::Ok();
   };
@@ -225,11 +225,11 @@ StatusOr<ExprPtr> Binder::BindScalar(const AstExpr& ast, bool allow_subquery) {
       return Expr::Column(col, ctx_->ColType(col));
     }
     case AstExprKind::kIntLiteral:
-      return Expr::Literal(Value::Int64(ast.int_value));
+      return Expr::Literal(Value::Int64(ast.int_value), ast.param_slot);
     case AstExprKind::kDoubleLiteral:
-      return Expr::Literal(Value::Double(ast.double_value));
+      return Expr::Literal(Value::Double(ast.double_value), ast.param_slot);
     case AstExprKind::kStringLiteral:
-      return Expr::Literal(Value::String(ast.string_value));
+      return Expr::Literal(Value::String(ast.string_value), ast.param_slot);
     case AstExprKind::kComparison:
       return BindComparison(ast, /*above_agg=*/false, allow_subquery);
     case AstExprKind::kAnd: {

@@ -59,6 +59,8 @@ void Table::AppendRow(Row row) {
   DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
   rows_.push_back(std::move(row));
   stats_valid_ = false;
+  if (!indexes_.empty()) indexes_stale_ = true;
+  ++version_;
 }
 
 void Table::AppendRows(std::vector<Row> rows) {
@@ -68,7 +70,9 @@ void Table::AppendRows(std::vector<Row> rows) {
 void Table::Clear() {
   rows_.clear();
   indexes_.clear();
+  indexes_stale_ = false;
   stats_valid_ = false;
+  ++version_;
 }
 
 void Table::ComputeStats() {
@@ -140,6 +144,12 @@ void Table::CreateIndex(int column) {
 }
 
 const SortedIndex* Table::GetIndex(int column) const {
+  if (indexes_stale_) {
+    for (auto& [col, index] : indexes_) {
+      index = std::make_unique<SortedIndex>(rows_, col);
+    }
+    indexes_stale_ = false;
+  }
   auto it = indexes_.find(column);
   return it == indexes_.end() ? nullptr : it->second.get();
 }

@@ -75,6 +75,11 @@ class Table {
   void AppendRows(std::vector<Row> rows);
   void Clear();
 
+  // Monotonic content version: bumped on every mutation (append, clear).
+  // Cross-batch caches snapshot (id, version) pairs and treat any mismatch
+  // as an invalidation; the counter never decreases and never repeats.
+  uint64_t version() const { return version_; }
+
   // Recomputes row count, min/max and exact NDV per column. Called once
   // after bulk load; cheap at this repo's scale factors.
   void ComputeStats();
@@ -84,7 +89,9 @@ class Table {
 
   // Builds (or rebuilds) a sorted index on `column`.
   void CreateIndex(int column);
-  // Returns the index on `column`, or nullptr.
+  // Returns the index on `column`, or nullptr. Indexes invalidated by
+  // appends since the last build are rebuilt lazily here, so an
+  // insert-then-index-scan sequence never reads a stale index.
   const SortedIndex* GetIndex(int column) const;
 
  private:
@@ -94,7 +101,10 @@ class Table {
   std::vector<Row> rows_;
   TableStats stats_;
   bool stats_valid_ = false;
-  std::map<int, std::unique_ptr<SortedIndex>> indexes_;
+  uint64_t version_ = 0;
+  // Mutable: GetIndex() is logically const but rebuilds stale indexes.
+  mutable std::map<int, std::unique_ptr<SortedIndex>> indexes_;
+  mutable bool indexes_stale_ = false;
 };
 
 }  // namespace subshare

@@ -22,18 +22,26 @@ class WorkTable {
   const std::vector<Row>& rows() const { return rows_; }
   int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
 
-  void AppendRow(Row row) { rows_.push_back(std::move(row)); }
+  // Monotonic content version, mirroring Table::version().
+  uint64_t version() const { return version_; }
+
+  void AppendRow(Row row) {
+    rows_.push_back(std::move(row));
+    ++version_;
+  }
 
   // Moves `n` rows into the table with a single capacity reservation (the
   // batched spool-write path: one call per RowBatch instead of per row).
   void AppendBatch(Row* rows, int64_t n) {
     rows_.reserve(rows_.size() + static_cast<size_t>(n));
     for (int64_t i = 0; i < n; ++i) rows_.push_back(std::move(rows[i]));
+    version_ += static_cast<uint64_t>(n);
   }
 
  private:
   Schema schema_;
   std::vector<Row> rows_;
+  uint64_t version_ = 0;
 };
 
 // Keyed by candidate-CSE id for the duration of one batch execution.

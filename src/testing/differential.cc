@@ -135,12 +135,18 @@ std::string PlanInvariantViolation(const ExecutablePlan& plan) {
                        id);
     }
   }
+  std::map<int, bool> recycled;
+  for (const auto& cp : plan.cse_plans) recycled[cp.cse_id] = cp.recycled;
   for (int id : known) {
-    if (scans[id] < 2) {
+    // Recycled candidates pay no initial cost, so a single consumer is
+    // profitable; freshly evaluated spools still need >= 2 readers.
+    int min_scans = recycled[id] ? 1 : 2;
+    if (scans[id] < min_scans) {
       return StrFormat(
           "cse %d is materialized but read by %d consumer(s); "
-          "single-consumer plans must be discarded",
-          id, scans[id]);
+          "%s plans need >= %d",
+          id, scans[id], recycled[id] ? "recycled" : "single-consumer",
+          min_scans);
     }
   }
 

@@ -1,0 +1,4 @@
+select o_orderpriority, sum(l_extendedprice) as agg0 from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < '1996-06-01' group by o_orderpriority;
+select o_orderstatus, sum(l_quantity) as agg0 from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < '1996-06-01' group by o_orderstatus;
+select o_orderpriority, sum(l_extendedprice) as agg0 from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < '1997-09-01' group by o_orderpriority;
+select o_orderstatus, sum(l_quantity) as agg0 from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < '1997-09-01' group by o_orderstatus

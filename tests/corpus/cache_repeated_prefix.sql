@@ -1,0 +1,5 @@
+select c_nationkey, sum(o_totalprice) as agg0 from customer, orders where c_custkey = o_custkey and o_orderdate < '1997-01-01' group by c_nationkey;
+select c_mktsegment, sum(o_totalprice) as agg0, count(*) as agg1 from customer, orders where c_custkey = o_custkey and o_orderdate < '1997-01-01' group by c_mktsegment;
+select c_nationkey, count(*) as agg0 from customer, orders where c_custkey = o_custkey and o_orderdate < '1997-01-01' group by c_nationkey;
+select c_mktsegment, max(o_totalprice) as agg0 from customer, orders where c_custkey = o_custkey and o_orderdate < '1997-01-01' group by c_mktsegment;
+select count(*) as agg0 from customer, orders where c_custkey = o_custkey and o_orderdate < '1997-01-01'

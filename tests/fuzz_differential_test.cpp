@@ -21,6 +21,7 @@
 
 #include "core/cse_optimizer.h"
 #include "sql/binder.h"
+#include "testing/cache_differential.h"
 #include "testing/differential.h"
 #include "testing/query_gen.h"
 #include "tpch/tpch.h"
@@ -89,6 +90,61 @@ TEST_F(FuzzDifferentialTest, RandomBatches) {
   if (batches >= 250) {
     EXPECT_GE(tester.statements_checked(), 500);
   }
+}
+
+// Corpus replay through the cache-mode checker: each checked-in batch is
+// run cold, warm (must hit the plan cache), and again after a random
+// insert — pinning the repeated-prefix and repeat-after-insert scenarios.
+TEST_F(FuzzDifferentialTest, CorpusReplayCacheMode) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SUBSHARE_CORPUS_DIR)) {
+    if (entry.path().extension() == ".sql") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+
+  Database db;
+  ASSERT_TRUE(db.LoadTpch(0.002).ok());
+  testing::CacheDifferentialTester tester(&db, /*seed=*/11);
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto d = tester.Check(buf.str());
+    EXPECT_FALSE(d.has_value()) << file << ":\n" << d->ToString();
+  }
+  EXPECT_EQ(tester.plan_hits_seen(), tester.batches_checked());
+  // The shared-prefix corpus entries actually exercise the recycler.
+  EXPECT_GE(tester.recycled_runs_seen(), 1);
+}
+
+// Cache mode: each batch is replayed through the plan cache and result
+// recycler with interleaved random inserts, against the naive reference.
+// Uses its own Database — the interleaved inserts mutate its tables.
+TEST_F(FuzzDifferentialTest, CacheModeRandomBatches) {
+  int batches = 250;
+  if (const char* env = std::getenv("SUBSHARE_FUZZ_BATCHES")) {
+    batches = std::atoi(env);
+  }
+  Database db;
+  ASSERT_TRUE(db.LoadTpch(0.002).ok());
+  testing::CacheDifferentialTester tester(&db, /*seed=*/2000000);
+  for (int i = 0; i < batches; ++i) {
+    uint64_t seed = 2000000 + static_cast<uint64_t>(i);
+    testing::QueryGenerator gen(&db.catalog(), seed);
+    auto d = tester.Check(testing::ToSql(gen.NextBatch()));
+    ASSERT_FALSE(d.has_value()) << "seed " << seed << ":\n" << d->ToString();
+  }
+  // The acceptance bar: >= 500 statements replayed with zero divergences,
+  // with real warm traffic — plan-cache hits on every warm repeat and at
+  // least some runs recycling spooled CSE artifacts.
+  if (batches >= 250) {
+    EXPECT_GE(tester.statements_checked(), 500);
+    EXPECT_GE(tester.recycled_runs_seen(), 1);
+  }
+  EXPECT_EQ(tester.plan_hits_seen(), tester.batches_checked());
 }
 
 TEST_F(FuzzDifferentialTest, GeneratorIsDeterministic) {

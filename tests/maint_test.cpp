@@ -124,6 +124,39 @@ TEST_F(MaintTest, InsertMaintenanceMatchesRecomputation) {
             Canon(fresh->statements[0].rows));
 }
 
+TEST_F(MaintTest, MaintenanceBumpsVersionsOfWhatItTouches) {
+  ASSERT_TRUE(views_
+                  ->CreateMaterializedView(
+                      "by_nation",
+                      "select c_nationkey, count(*) as cnt from customer "
+                      "group by c_nationkey")
+                  .ok());
+  ASSERT_TRUE(views_
+                  ->CreateMaterializedView(
+                      "by_region",
+                      "select n_regionkey, count(*) as cnt from nation "
+                      "group by n_regionkey")
+                  .ok());
+
+  const Table* customer = db_->catalog().GetTable("customer");
+  uint64_t base_before = customer->version();
+  uint64_t affected_before = views_->ViewTable("by_nation")->version();
+  uint64_t untouched_before = views_->ViewTable("by_region")->version();
+
+  MaintenanceMetrics metrics;
+  ASSERT_TRUE(views_
+                  ->ApplyInserts("customer",
+                                 NewCustomers(*customer, 10, /*seed=*/7), {},
+                                 &metrics)
+                  .ok());
+  // The base table and the maintained view changed contents, so their
+  // versions moved; the view over nation did not change, so its version
+  // (the cross-batch caches' invalidation signal) must not move.
+  EXPECT_GT(customer->version(), base_before);
+  EXPECT_GT(views_->ViewTable("by_nation")->version(), affected_before);
+  EXPECT_EQ(views_->ViewTable("by_region")->version(), untouched_before);
+}
+
 TEST_F(MaintTest, SimilarViewsShareMaintenanceWork) {
   // §6.4: three materialized views shaped like Example 1's queries; an
   // update to customer should be maintained through a shared CSE.

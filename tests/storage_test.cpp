@@ -145,6 +145,55 @@ TEST(HistogramTest, MonotoneNonDecreasing) {
   }
 }
 
+TEST(TableTest, VersionChangesExactlyWhenContentsDo) {
+  Table t(0, "t", TwoColSchema());
+  EXPECT_EQ(t.version(), 0u);
+  t.AppendRow({Value::Int64(1), Value::String("a")});
+  EXPECT_EQ(t.version(), 1u);
+  t.AppendRows({{Value::Int64(2), Value::String("b")},
+                {Value::Int64(3), Value::String("c")}});
+  EXPECT_EQ(t.version(), 3u);
+
+  // Read-only operations never bump the version.
+  uint64_t v = t.version();
+  t.ComputeStats();
+  t.CreateIndex(0);
+  (void)t.GetIndex(0);
+  (void)t.rows();
+  EXPECT_EQ(t.version(), v);
+
+  // Clearing is a content change even when the table ends up empty, and
+  // the counter never revisits an earlier value.
+  t.Clear();
+  EXPECT_GT(t.version(), v);
+}
+
+TEST(TableTest, StaleIndexRebuiltAfterAppend) {
+  Table t(0, "t", TwoColSchema());
+  t.AppendRow({Value::Int64(1), Value::String("a")});
+  t.CreateIndex(0);
+  t.AppendRow({Value::Int64(2), Value::String("b")});
+  // The lazily rebuilt index sees the appended row.
+  Value lo = Value::Int64(2);
+  ASSERT_NE(t.GetIndex(0), nullptr);
+  EXPECT_EQ(t.GetIndex(0)
+                ->RangeLookup(&lo, true, nullptr, true, t.rows())
+                .size(),
+            1u);
+}
+
+TEST(WorkTableTest, VersionTracksAppends) {
+  WorkTable wt(TwoColSchema());
+  EXPECT_EQ(wt.version(), 0u);
+  wt.AppendRow({Value::Int64(1), Value::String("a")});
+  EXPECT_EQ(wt.version(), 1u);
+  Row batch[2] = {{Value::Int64(2), Value::String("b")},
+                  {Value::Int64(3), Value::String("c")}};
+  wt.AppendBatch(batch, 2);
+  EXPECT_EQ(wt.version(), 3u);
+  EXPECT_EQ(wt.row_count(), 3);
+}
+
 TEST(WorkTableTest, ManagerLifecycle) {
   WorkTableManager mgr;
   EXPECT_EQ(mgr.Get(1), nullptr);
