@@ -58,7 +58,17 @@ const ResultCache::Entry* ResultCache::Lookup(const std::string& key,
 
 bool ResultCache::Admit(const std::string& key,
                         const std::vector<TableId>& dep_tables,
-                        Schema schema, std::vector<Row> rows,
+                        Schema schema, const std::vector<Row>& rows,
+                        double benefit) {
+  ColumnStore data;
+  data.Reset(schema);
+  for (const Row& row : rows) data.AppendRow(row);
+  return Admit(key, dep_tables, std::move(schema), data, benefit);
+}
+
+bool ResultCache::Admit(const std::string& key,
+                        const std::vector<TableId>& dep_tables,
+                        Schema schema, const ColumnStore& data,
                         double benefit) {
   Entry entry;
   for (TableId id : dep_tables) {
@@ -70,8 +80,8 @@ bool ResultCache::Admit(const std::string& key,
     entry.deps.emplace_back(id, t->version());
   }
   entry.schema = std::move(schema);
-  entry.bytes = EstimateRowsBytes(rows);
-  entry.rows = std::move(rows);
+  entry.data = data;  // copy: the work table keeps (and may outlive) its own
+  entry.bytes = entry.data.ByteSize();
   entry.benefit = benefit;
   entry.last_used = ++tick_;
 

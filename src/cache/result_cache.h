@@ -50,9 +50,9 @@ class ResultCache {
   struct Entry {
     std::vector<std::pair<TableId, uint64_t>> deps;  // (table, version)
     Schema schema;
-    std::vector<Row> rows;
+    ColumnStore data;    // spooled result, columnar (install via AssignFrom)
     double benefit = 0;  // C_E + C_W saved per hit
-    int64_t bytes = 0;
+    int64_t bytes = 0;   // true columnar footprint (data.ByteSize())
     uint64_t last_used = 0;
     int64_t hits = 0;
   };
@@ -66,11 +66,17 @@ class ResultCache {
   // counted.
   const Entry* Lookup(const std::string& key, bool count_stats = true);
 
-  // Admits (or replaces) an entry. Snapshots current versions of
-  // `dep_tables` from the catalog. Returns false when the artifact does
-  // not fit the budget without evicting higher-benefit residents.
+  // Admits (or replaces) an entry, copying the spooled columns. Snapshots
+  // current versions of `dep_tables` from the catalog. Returns false when
+  // the artifact does not fit the budget without evicting higher-benefit
+  // residents. Bytes are charged at the true columnar footprint
+  // (data.ByteSize()), so dictionary-compressed string spools cost what
+  // they actually occupy.
   bool Admit(const std::string& key, const std::vector<TableId>& dep_tables,
-             Schema schema, std::vector<Row> rows, double benefit);
+             Schema schema, const ColumnStore& data, double benefit);
+  // Convenience overload (tests): row-major input, columnarized on admit.
+  bool Admit(const std::string& key, const std::vector<TableId>& dep_tables,
+             Schema schema, const std::vector<Row>& rows, double benefit);
 
   void Clear() { entries_.clear(); bytes_used_ = 0; }
 
@@ -99,7 +105,8 @@ class ResultCache {
   ResultCacheStats stats_;
 };
 
-// Approximate in-memory footprint of a spooled result.
+// Approximate in-memory footprint of a row-major spooled result (the
+// pre-columnar accounting; kept for footprint comparisons and tests).
 int64_t EstimateRowsBytes(const std::vector<Row>& rows);
 
 }  // namespace subshare::cache

@@ -59,6 +59,8 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
   // hit replays a plan costed cold, but its spool may be cached by now.
   int64_t spools_recycled = 0;
   int64_t spools_admitted = 0;
+  int64_t spool_bytes = 0;
+  int64_t spool_bytes_row_model = 0;
   for (const ExecutablePlan::CsePlan& cse : plan.cse_plans) {
     ctx.phase = StrFormat("cse %d", cse.cse_id);
     WorkTable* wt = work_tables.Create(cse.cse_id, cse.spool_schema);
@@ -66,9 +68,10 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
       const cache::ResultCache::Entry* entry =
           options.result_cache->Lookup(cse.cache_key, /*count_stats=*/true);
       if (entry != nullptr) {
-        std::vector<Row> rows = entry->rows;  // copy: entry stays resident
-        wt->AppendBatch(rows.data(), static_cast<int64_t>(rows.size()));
+        wt->AssignFrom(entry->data);  // copy: entry stays resident
         ++spools_recycled;
+        spool_bytes += wt->columns().ByteSize();
+        spool_bytes_row_model += RowModelBytes(wt->columns());
         continue;
       }
     }
@@ -84,14 +87,15 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
       Row row;
       while (op->Next(&row)) {
         ++ctx.rows_spooled;
-        wt->AppendRow(std::move(row));
-        row = Row();
+        wt->AppendRow(row);
       }
     }
+    spool_bytes += wt->columns().ByteSize();
+    spool_bytes_row_model += RowModelBytes(wt->columns());
     if (options.result_cache != nullptr && options.admit_results &&
         !cse.cache_key.empty()) {
       if (options.result_cache->Admit(cse.cache_key, cse.dep_tables,
-                                      cse.spool_schema, wt->rows(),
+                                      cse.spool_schema, wt->columns(),
                                       cse.initial_cost)) {
         ++spools_admitted;
       }
@@ -115,6 +119,8 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
     metrics->spool_rows_read = ctx.spool_rows_read;
     metrics->spools_recycled = spools_recycled;
     metrics->spools_admitted = spools_admitted;
+    metrics->spool_bytes = spool_bytes;
+    metrics->spool_bytes_row_model = spool_bytes_row_model;
     metrics->elapsed_seconds = timer.ElapsedSeconds();
     metrics->operators.clear();
     metrics->operators.reserve(ctx.op_stats().size());

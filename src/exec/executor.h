@@ -55,6 +55,8 @@ struct ExecutionMetrics {
   int64_t spool_rows_read = 0;    // rows read back from work tables
   int64_t spools_recycled = 0;    // work tables served from the result cache
   int64_t spools_admitted = 0;    // freshly evaluated spools admitted
+  int64_t spool_bytes = 0;            // columnar footprint of all CSE spools
+  int64_t spool_bytes_row_model = 0;  // same data costed at row-major layout
   double elapsed_seconds = 0;
   std::vector<OperatorMetrics> operators;  // empty when metrics not requested
 

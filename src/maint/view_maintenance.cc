@@ -142,7 +142,7 @@ void ViewManager::MergeIntoView(ViewDef* view,
   };
   // Build an index over current contents (adequate at this scale; a real
   // system would keep a clustered index on the grouping columns).
-  std::vector<Row> rows = view->storage->rows();
+  std::vector<Row> rows = view->storage->MaterializeRows();
   for (size_t i = 0; i < rows.size(); ++i) {
     index[key_of(rows[i])] = static_cast<int64_t>(i);
   }

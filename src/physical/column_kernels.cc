@@ -1,0 +1,532 @@
+#include "physical/column_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subshare {
+
+namespace {
+
+bool IsIntFamily(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDate ||
+         t == DataType::kBool;
+}
+
+// Compacts sel[0..count) to the rows where `pass` holds; returns new count.
+// The store-then-advance pattern keeps the loop branch-light so the
+// compiler can vectorize it.
+template <typename Pred>
+inline int Select(int32_t* sel, int count, Pred pass) {
+  int out = 0;
+  for (int i = 0; i < count; ++i) {
+    int32_t r = sel[i];
+    sel[out] = r;
+    out += pass(r) ? 1 : 0;
+  }
+  return out;
+}
+
+// Comparison dispatch: one tight loop per operator.
+template <typename T>
+inline int CmpSelect(CmpOp op, const T* v, T lit, int32_t* sel, int count) {
+  switch (op) {
+    case CmpOp::kEq:
+      return Select(sel, count, [=](int32_t r) { return v[r] == lit; });
+    case CmpOp::kNe:
+      return Select(sel, count, [=](int32_t r) { return v[r] != lit; });
+    case CmpOp::kLt:
+      return Select(sel, count, [=](int32_t r) { return v[r] < lit; });
+    case CmpOp::kLe:
+      return Select(sel, count, [=](int32_t r) { return v[r] <= lit; });
+    case CmpOp::kGt:
+      return Select(sel, count, [=](int32_t r) { return v[r] > lit; });
+    case CmpOp::kGe:
+      return Select(sel, count, [=](int32_t r) { return v[r] >= lit; });
+  }
+  return count;
+}
+
+template <typename L, typename R>
+inline int ColColSelect(CmpOp op, const L* a, const R* b, int32_t* sel,
+                        int count) {
+  switch (op) {
+    case CmpOp::kEq:
+      return Select(sel, count, [=](int32_t r) { return a[r] == b[r]; });
+    case CmpOp::kNe:
+      return Select(sel, count, [=](int32_t r) { return a[r] != b[r]; });
+    case CmpOp::kLt:
+      return Select(sel, count, [=](int32_t r) { return a[r] < b[r]; });
+    case CmpOp::kLe:
+      return Select(sel, count, [=](int32_t r) { return a[r] <= b[r]; });
+    case CmpOp::kGt:
+      return Select(sel, count, [=](int32_t r) { return a[r] > b[r]; });
+    case CmpOp::kGe:
+      return Select(sel, count, [=](int32_t r) { return a[r] >= b[r]; });
+  }
+  return count;
+}
+
+}  // namespace
+
+bool CompiledPredicate::CompileComparison(const Expr& e,
+                                          const ColumnStore& store) {
+  const Expr& lhs = *e.children[0];
+  const Expr& rhs = *e.children[1];
+
+  // column vs column
+  if (lhs.kind == ExprKind::kBoundColumn &&
+      rhs.kind == ExprKind::kBoundColumn) {
+    const Column& a = store.column(lhs.bound_index);
+    const Column& b = store.column(rhs.bound_index);
+    if (a.type() == DataType::kString || b.type() == DataType::kString) {
+      return false;  // string-vs-string col compares stay in the residual
+    }
+    Step s;
+    s.col = lhs.bound_index;
+    s.col2 = rhs.bound_index;
+    s.op = e.cmp;
+    // Value::Compare compares exactly iff neither side is a double.
+    s.kind = IsIntFamily(a.type()) && IsIntFamily(b.type())
+                 ? Step::kColColInt
+                 : Step::kColColDouble;
+    steps_.push_back(std::move(s));
+    return true;
+  }
+
+  if (lhs.kind != ExprKind::kBoundColumn || rhs.kind != ExprKind::kLiteral) {
+    return false;
+  }
+  const Value& lit = rhs.literal;
+  if (lit.is_null()) {  // comparison with NULL is always false
+    always_false_ = true;
+    return true;
+  }
+  const Column& col = store.column(lhs.bound_index);
+  Step s;
+  s.col = lhs.bound_index;
+  s.op = e.cmp;
+
+  if (col.type() == DataType::kString) {
+    if (lit.type() != DataType::kString) return false;
+    const StringDictionary& dict = col.dict();
+    const std::string& target = lit.AsString();
+    switch (e.cmp) {
+      case CmpOp::kEq: {
+        int32_t code = dict.Find(target);
+        if (code < 0) {
+          always_false_ = true;
+          return true;
+        }
+        s.kind = Step::kStrEq;
+        s.code = code;
+        break;
+      }
+      case CmpOp::kNe:
+        // A -1 code (absent value) never equals a stored code, so every
+        // non-null row passes — the loop shape stays uniform.
+        s.kind = Step::kStrNe;
+        s.code = dict.Find(target);
+        break;
+      case CmpOp::kLt:
+        s.kind = Step::kStrRange;
+        s.rank_thr = dict.LowerBoundRank(target);
+        s.pass_if_less = true;
+        break;
+      case CmpOp::kLe:
+        s.kind = Step::kStrRange;
+        s.rank_thr = dict.UpperBoundRank(target);
+        s.pass_if_less = true;
+        break;
+      case CmpOp::kGt:
+        s.kind = Step::kStrRange;
+        s.rank_thr = dict.UpperBoundRank(target);
+        s.pass_if_less = false;
+        break;
+      case CmpOp::kGe:
+        s.kind = Step::kStrRange;
+        s.rank_thr = dict.LowerBoundRank(target);
+        s.pass_if_less = false;
+        break;
+    }
+    if (s.kind == Step::kStrRange) s.ranks = dict.EnsureRanks();
+    steps_.push_back(std::move(s));
+    return true;
+  }
+
+  // Numeric column. Mirror Value::Compare: exact int64 iff neither side is
+  // a double; otherwise compare as doubles.
+  if (lit.type() == DataType::kString) return false;  // type-mismatched
+  if (col.type() == DataType::kDouble) {
+    s.kind = Step::kDoubleCmp;
+    s.dval = lit.AsDouble();
+  } else if (lit.type() == DataType::kDouble) {
+    s.kind = Step::kIntCmpDouble;
+    s.dval = lit.AsDouble();
+  } else {
+    s.kind = Step::kIntCmp;
+    s.ival = lit.AsInt64();
+  }
+  steps_.push_back(std::move(s));
+  return true;
+}
+
+bool CompiledPredicate::CompileInList(const Expr& or_expr,
+                                      const ColumnStore& store) {
+  // OR of equalities on one column (how IN desugars). Anything else is not
+  // lowered here.
+  int col = -1;
+  std::vector<const Value*> lits;
+  for (const ExprPtr& child : or_expr.children) {
+    if (child->kind != ExprKind::kComparison || child->cmp != CmpOp::kEq) {
+      return false;
+    }
+    const Expr& l = *child->children[0];
+    const Expr& r = *child->children[1];
+    if (l.kind != ExprKind::kBoundColumn || r.kind != ExprKind::kLiteral) {
+      return false;
+    }
+    if (col < 0) col = l.bound_index;
+    if (l.bound_index != col) return false;
+    lits.push_back(&r.literal);
+  }
+  if (col < 0) return false;
+
+  const Column& column = store.column(col);
+  Step s;
+  s.col = col;
+  if (column.type() == DataType::kString) {
+    s.kind = Step::kStrIn;
+    for (const Value* lit : lits) {
+      if (lit->is_null()) continue;  // = NULL disjunct is always false
+      if (lit->type() != DataType::kString) return false;
+      int32_t code = column.dict().Find(lit->AsString());
+      if (code >= 0) s.code_set.push_back(code);
+    }
+    if (s.code_set.empty()) {
+      always_false_ = true;
+      return true;
+    }
+    std::sort(s.code_set.begin(), s.code_set.end());
+  } else {
+    s.kind = Step::kIntIn;
+    for (const Value* lit : lits) {
+      if (lit->is_null()) continue;
+      if (lit->type() == DataType::kString) return false;
+      if (lit->type() == DataType::kDouble) {
+        // An integral double equals the matching int64; a fractional one
+        // matches nothing (int-family columns hold integers).
+        double d = lit->AsDouble();
+        if (column.type() == DataType::kDouble) return false;  // unreachable
+        if (d != std::floor(d) || std::abs(d) >= 9.0e18) continue;
+        s.int_set.push_back(static_cast<int64_t>(d));
+      } else {
+        s.int_set.push_back(lit->AsInt64());
+      }
+    }
+    if (column.type() == DataType::kDouble) {
+      // Double-typed columns keep exact double IN semantics in the
+      // residual; lowering would need a double set — rare, not worth it.
+      return false;
+    }
+    if (s.int_set.empty()) {
+      always_false_ = true;
+      return true;
+    }
+    std::sort(s.int_set.begin(), s.int_set.end());
+    s.int_set.erase(std::unique(s.int_set.begin(), s.int_set.end()),
+                    s.int_set.end());
+  }
+  steps_.push_back(std::move(s));
+  return true;
+}
+
+bool CompiledPredicate::CompileConjunct(const ExprPtr& conjunct,
+                                        const ColumnStore& store) {
+  if (conjunct->kind == ExprKind::kComparison) {
+    return CompileComparison(*conjunct, store);
+  }
+  if (conjunct->kind == ExprKind::kOr) {
+    return CompileInList(*conjunct, store);
+  }
+  return false;
+}
+
+CompiledPredicate CompiledPredicate::Compile(const ExprPtr& bound,
+                                             const ColumnStore& store) {
+  CompiledPredicate p;
+  p.store_ = &store;
+  if (bound == nullptr) return p;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& conjunct : SplitConjuncts(bound)) {
+    if (!p.CompileConjunct(conjunct, store)) residual.push_back(conjunct);
+    if (p.always_false_) {
+      p.steps_.clear();
+      p.residual_ = nullptr;
+      return p;
+    }
+  }
+  p.residual_ = CombineConjuncts(residual);
+  return p;
+}
+
+int CompiledPredicate::RunSteps(int32_t* sel, int count) const {
+  for (const Step& s : steps_) {
+    if (count == 0) break;
+    const Column& col = store_->column(s.col);
+    // Null cells fail every comparison; compact them away first so the
+    // typed loops can trust the placeholder-free data.
+    if (col.nulls().any()) {
+      const NullBitmap& nulls = col.nulls();
+      count = Select(sel, count, [&](int32_t r) { return !nulls.Test(r); });
+    }
+    if (s.col2 >= 0 && store_->column(s.col2).nulls().any()) {
+      const NullBitmap& nulls = store_->column(s.col2).nulls();
+      count = Select(sel, count, [&](int32_t r) { return !nulls.Test(r); });
+    }
+    switch (s.kind) {
+      case Step::kFalse:
+        return 0;
+      case Step::kIntCmp:
+        count = CmpSelect<int64_t>(s.op, col.ints(), s.ival, sel, count);
+        break;
+      case Step::kIntCmpDouble: {
+        const int64_t* v = col.ints();
+        const double lit = s.dval;
+        switch (s.op) {
+          case CmpOp::kEq:
+            count = Select(sel, count, [=](int32_t r) {
+              return static_cast<double>(v[r]) == lit;
+            });
+            break;
+          case CmpOp::kNe:
+            count = Select(sel, count, [=](int32_t r) {
+              return static_cast<double>(v[r]) != lit;
+            });
+            break;
+          case CmpOp::kLt:
+            count = Select(sel, count, [=](int32_t r) {
+              return static_cast<double>(v[r]) < lit;
+            });
+            break;
+          case CmpOp::kLe:
+            count = Select(sel, count, [=](int32_t r) {
+              return static_cast<double>(v[r]) <= lit;
+            });
+            break;
+          case CmpOp::kGt:
+            count = Select(sel, count, [=](int32_t r) {
+              return static_cast<double>(v[r]) > lit;
+            });
+            break;
+          case CmpOp::kGe:
+            count = Select(sel, count, [=](int32_t r) {
+              return static_cast<double>(v[r]) >= lit;
+            });
+            break;
+        }
+        break;
+      }
+      case Step::kDoubleCmp:
+        count = CmpSelect<double>(s.op, col.doubles(), s.dval, sel, count);
+        break;
+      case Step::kIntIn: {
+        const int64_t* v = col.ints();
+        if (s.int_set.size() <= 4) {
+          // Small sets (the common IN shape): unrolled membership test.
+          int64_t k0 = s.int_set[0];
+          int64_t k1 = s.int_set.size() > 1 ? s.int_set[1] : k0;
+          int64_t k2 = s.int_set.size() > 2 ? s.int_set[2] : k0;
+          int64_t k3 = s.int_set.size() > 3 ? s.int_set[3] : k0;
+          count = Select(sel, count, [=](int32_t r) {
+            int64_t x = v[r];
+            return x == k0 || x == k1 || x == k2 || x == k3;
+          });
+        } else {
+          const std::vector<int64_t>& set = s.int_set;
+          count = Select(sel, count, [&](int32_t r) {
+            return std::binary_search(set.begin(), set.end(), v[r]);
+          });
+        }
+        break;
+      }
+      case Step::kStrEq: {
+        const int32_t* codes = col.codes();
+        const int32_t target = s.code;
+        count =
+            Select(sel, count, [=](int32_t r) { return codes[r] == target; });
+        break;
+      }
+      case Step::kStrNe: {
+        const int32_t* codes = col.codes();
+        const int32_t target = s.code;
+        count =
+            Select(sel, count, [=](int32_t r) { return codes[r] != target; });
+        break;
+      }
+      case Step::kStrRange: {
+        const int32_t* codes = col.codes();
+        const int32_t* ranks = s.ranks;
+        const int32_t thr = s.rank_thr;
+        const bool pass_if_less = s.pass_if_less;
+        if (ranks == nullptr) {  // sorted dictionary: codes ARE ranks
+          count = Select(sel, count, [=](int32_t r) {
+            return (codes[r] < thr) == pass_if_less;
+          });
+        } else {
+          count = Select(sel, count, [=](int32_t r) {
+            return (ranks[codes[r]] < thr) == pass_if_less;
+          });
+        }
+        break;
+      }
+      case Step::kStrIn: {
+        const int32_t* codes = col.codes();
+        if (s.code_set.size() <= 4) {
+          int32_t k0 = s.code_set[0];
+          int32_t k1 = s.code_set.size() > 1 ? s.code_set[1] : k0;
+          int32_t k2 = s.code_set.size() > 2 ? s.code_set[2] : k0;
+          int32_t k3 = s.code_set.size() > 3 ? s.code_set[3] : k0;
+          count = Select(sel, count, [=](int32_t r) {
+            int32_t x = codes[r];
+            return x == k0 || x == k1 || x == k2 || x == k3;
+          });
+        } else {
+          const std::vector<int32_t>& set = s.code_set;
+          count = Select(sel, count, [&](int32_t r) {
+            return std::binary_search(set.begin(), set.end(), codes[r]);
+          });
+        }
+        break;
+      }
+      case Step::kColColInt: {
+        const int64_t* a = col.ints();
+        const int64_t* b = store_->column(s.col2).ints();
+        count = ColColSelect(s.op, a, b, sel, count);
+        break;
+      }
+      case Step::kColColDouble: {
+        const Column& rhs = store_->column(s.col2);
+        // At least one side is a double column; both read as doubles,
+        // matching Value::Compare's AsDouble path.
+        if (col.type() == DataType::kDouble &&
+            rhs.type() == DataType::kDouble) {
+          count = ColColSelect(s.op, col.doubles(), rhs.doubles(), sel, count);
+        } else if (col.type() == DataType::kDouble) {
+          const double* a = col.doubles();
+          const int64_t* b = rhs.ints();
+          switch (s.op) {
+            case CmpOp::kEq:
+              count = Select(sel, count, [=](int32_t r) {
+                return a[r] == static_cast<double>(b[r]);
+              });
+              break;
+            case CmpOp::kNe:
+              count = Select(sel, count, [=](int32_t r) {
+                return a[r] != static_cast<double>(b[r]);
+              });
+              break;
+            case CmpOp::kLt:
+              count = Select(sel, count, [=](int32_t r) {
+                return a[r] < static_cast<double>(b[r]);
+              });
+              break;
+            case CmpOp::kLe:
+              count = Select(sel, count, [=](int32_t r) {
+                return a[r] <= static_cast<double>(b[r]);
+              });
+              break;
+            case CmpOp::kGt:
+              count = Select(sel, count, [=](int32_t r) {
+                return a[r] > static_cast<double>(b[r]);
+              });
+              break;
+            case CmpOp::kGe:
+              count = Select(sel, count, [=](int32_t r) {
+                return a[r] >= static_cast<double>(b[r]);
+              });
+              break;
+          }
+        } else {
+          const int64_t* a = col.ints();
+          const double* b = rhs.doubles();
+          switch (s.op) {
+            case CmpOp::kEq:
+              count = Select(sel, count, [=](int32_t r) {
+                return static_cast<double>(a[r]) == b[r];
+              });
+              break;
+            case CmpOp::kNe:
+              count = Select(sel, count, [=](int32_t r) {
+                return static_cast<double>(a[r]) != b[r];
+              });
+              break;
+            case CmpOp::kLt:
+              count = Select(sel, count, [=](int32_t r) {
+                return static_cast<double>(a[r]) < b[r];
+              });
+              break;
+            case CmpOp::kLe:
+              count = Select(sel, count, [=](int32_t r) {
+                return static_cast<double>(a[r]) <= b[r];
+              });
+              break;
+            case CmpOp::kGt:
+              count = Select(sel, count, [=](int32_t r) {
+                return static_cast<double>(a[r]) > b[r];
+              });
+              break;
+            case CmpOp::kGe:
+              count = Select(sel, count, [=](int32_t r) {
+                return static_cast<double>(a[r]) >= b[r];
+              });
+              break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+int CompiledPredicate::FilterDense(int64_t start, int n, int32_t* sel) const {
+  if (always_false_) return 0;
+  for (int i = 0; i < n; ++i) sel[i] = static_cast<int32_t>(start + i);
+  return RunSteps(sel, n);
+}
+
+int CompiledPredicate::FilterPositions(const int64_t* pos, int n,
+                                       int32_t* sel) const {
+  if (always_false_) return 0;
+  for (int i = 0; i < n; ++i) sel[i] = static_cast<int32_t>(pos[i]);
+  return RunSteps(sel, n);
+}
+
+int ApplyRowResidual(const ColumnStore& store, const ExprPtr& residual,
+                     int32_t* sel, int count, Row* scratch) {
+  if (residual == nullptr) return count;
+  int out = 0;
+  for (int i = 0; i < count; ++i) {
+    int32_t r = sel[i];
+    store.GetRow(r, scratch);
+    if (EvalPredicate(residual, *scratch)) sel[out++] = r;
+  }
+  return out;
+}
+
+void GatherInto(const ColumnStore& store, const int32_t* sel, int count,
+                const std::vector<int>& map, RowBatch* out) {
+  const int width = static_cast<int>(map.size());
+  for (int i = 0; i < count; ++i) {
+    Row& dst = out->AppendSlot();
+    dst.resize(static_cast<size_t>(width));
+    const int32_t r = sel[i];
+    for (int j = 0; j < width; ++j) {
+      dst[static_cast<size_t>(j)] = store.column(map[j]).Get(r);
+    }
+  }
+}
+
+}  // namespace subshare

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "physical/column_kernels.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -173,20 +174,35 @@ struct IntKeyTable {
 
 // ---------------------------------------------------------------- scans ---
 
+// Filters one window of a scan — [start, start+n) dense rows, or that slice
+// of `pos` — into `sel` (absolute row ids): compiled kernels first, then the
+// row-level residual (gathered into *scratch only for kernel survivors).
+// Returns the survivor count. Shared by the scan operators and both fused
+// consumers (hash-join probe, hash aggregation).
+int FilterWindow(const ColumnStore& store, const std::vector<int64_t>* pos,
+                 const CompiledPredicate& pred, int64_t start, int n,
+                 int32_t* sel, Row* scratch) {
+  int count = pos != nullptr
+                  ? pred.FilterPositions(pos->data() + start, n, sel)
+                  : pred.FilterDense(start, n, sel);
+  return ApplyRowResidual(store, pred.residual(), sel, count, scratch);
+}
+
 // Table scan and spool scan share the same shape: iterate a backing
-// std::vector<Row>, apply an optional residual filter, remap to the output
-// layout. The batched path evaluates the filter over a window of rows at a
-// time (EvalPredicateBatch) and gathers survivors into the output batch.
+// ColumnStore, apply the scan predicate, emit rows in the output layout.
+// The batched path runs the compiled kernels over a window of rows into a
+// selection vector and gathers only the surviving rows' output columns —
+// row materialization happens exclusively at this columnar/row boundary.
 class ScanBase : public Operator {
  public:
   ScanBase(const PhysicalNode& node, ExecContext* ctx)
       : Operator(ctx), node_(node) {}
 
   ScanSource* AsScanSource() override {
-    if (source_ == nullptr) return nullptr;  // not opened yet
-    source_info_.rows = source_;
+    if (store_ == nullptr) return nullptr;  // not opened yet
+    source_info_.store = store_;
     source_info_.positions = use_positions_ ? &positions_ : nullptr;
-    source_info_.filter = bound_filter_;
+    source_info_.pred = &pred_;
     source_info_.storage = storage_layout_;
     source_info_.count_spool_reads = count_spool_reads_;
     source_info_.stats = stats_;
@@ -194,70 +210,57 @@ class ScanBase : public Operator {
   }
 
  protected:
-  // Subclasses set these in OpenImpl.
-  const std::vector<Row>* source_ = nullptr;  // backing rows
-  std::vector<int64_t> positions_;            // index-scan row positions
+  // Subclasses set these in OpenImpl (store_ before OpenScan).
+  const ColumnStore* store_ = nullptr;  // backing columns
+  std::vector<int64_t> positions_;      // index-scan row positions
   bool use_positions_ = false;
   bool count_spool_reads_ = false;
   ExprPtr bound_filter_;
-  std::vector<int> map_;
-  bool identity_map_ = false;
+  CompiledPredicate pred_;
+  std::vector<int> map_;  // output col -> store col
   int64_t cursor_ = 0;
 
   void OpenScan(const Layout& storage_layout) {
     storage_layout_ = storage_layout;
     bound_filter_ = node_.filter ? BindExpr(node_.filter, storage_layout)
                                  : nullptr;
+    pred_ = CompiledPredicate::Compile(bound_filter_, *store_);
     map_ = MappingTo(storage_layout, node_.output);
-    identity_map_ = IsIdentityMapping(map_, storage_layout.size());
     cursor_ = 0;
   }
 
+  // Row mode stays the reference implementation: gather the row, evaluate
+  // the bound filter with EvalPredicate, remap.
   bool NextImpl(Row* out) override {
-    const std::vector<Row>& rows = *source_;
     int64_t limit = use_positions_ ? static_cast<int64_t>(positions_.size())
-                                   : static_cast<int64_t>(rows.size());
+                                   : store_->num_rows();
     while (cursor_ < limit) {
-      const Row& row = use_positions_ ? rows[positions_[cursor_]]
-                                      : rows[cursor_];
+      int64_t r = use_positions_ ? positions_[cursor_] : cursor_;
       ++cursor_;
       ++ctx_->rows_scanned;
       if (count_spool_reads_) ++ctx_->spool_rows_read;
-      if (bound_filter_ != nullptr && !EvalPredicate(bound_filter_, row)) {
+      store_->GetRow(r, &scratch_);
+      if (bound_filter_ != nullptr && !EvalPredicate(bound_filter_, scratch_)) {
         continue;
       }
-      *out = ApplyMapping(row, map_);
+      *out = ApplyMapping(scratch_, map_);
       return true;
     }
     return false;
   }
 
   bool NextBatchImpl(RowBatch* out) override {
-    const std::vector<Row>& rows = *source_;
     int64_t limit = use_positions_ ? static_cast<int64_t>(positions_.size())
-                                   : static_cast<int64_t>(rows.size());
+                                   : store_->num_rows();
     while (out->empty() && cursor_ < limit) {
-      int64_t window =
-          std::min<int64_t>(out->capacity() - out->size(), limit - cursor_);
+      int window = static_cast<int>(
+          std::min<int64_t>(out->capacity(), limit - cursor_));
       ctx_->rows_scanned += window;
       if (count_spool_reads_) ctx_->spool_rows_read += window;
-      keep_.assign(static_cast<size_t>(window), 1);
-      if (bound_filter_ != nullptr) {
-        if (use_positions_) {
-          for (int64_t i = 0; i < window; ++i) {
-            keep_[i] = EvalPredicate(bound_filter_, rows[positions_[cursor_ + i]]);
-          }
-        } else {
-          EvalPredicateBatch(bound_filter_, rows.data() + cursor_,
-                             static_cast<int>(window), keep_.data());
-        }
-      }
-      for (int64_t i = 0; i < window; ++i) {
-        if (!keep_[i]) continue;
-        const Row& row =
-            use_positions_ ? rows[positions_[cursor_ + i]] : rows[cursor_ + i];
-        out->AppendMapped(row, map_);
-      }
+      sel_.resize(static_cast<size_t>(window));
+      int count = FilterWindow(*store_, use_positions_ ? &positions_ : nullptr,
+                               pred_, cursor_, window, sel_.data(), &scratch_);
+      GatherInto(*store_, sel_.data(), count, map_, out);
       cursor_ += window;
     }
     return !out->empty();
@@ -268,7 +271,8 @@ class ScanBase : public Operator {
  private:
   Layout storage_layout_;
   ScanSource source_info_;
-  std::vector<uint8_t> keep_;
+  std::vector<int32_t> sel_;
+  Row scratch_;
 };
 
 class TableScanOp : public ScanBase {
@@ -276,17 +280,16 @@ class TableScanOp : public ScanBase {
   using ScanBase::ScanBase;
 
   void OpenImpl() override {
+    store_ = &node_.table->columns();
     Layout storage_layout(node_.input_cols);
     OpenScan(storage_layout);
-    source_ = &node_.table->rows();
     if (node_.kind == PhysOpKind::kIndexScan) {
       const SortedIndex* idx = node_.table->GetIndex(node_.index_range.column_idx);
       CHECK(idx != nullptr) << "missing index on " << node_.table->name();
       const Value* lo = node_.index_range.lo ? &*node_.index_range.lo : nullptr;
       const Value* hi = node_.index_range.hi ? &*node_.index_range.hi : nullptr;
       positions_ = idx->RangeLookup(lo, node_.index_range.lo_inclusive, hi,
-                                    node_.index_range.hi_inclusive,
-                                    node_.table->rows());
+                                    node_.index_range.hi_inclusive);
       use_positions_ = true;
     }
   }
@@ -300,9 +303,9 @@ class SpoolScanOp : public ScanBase {
     const WorkTable* work_table = ctx_->work_tables->Get(node_.cse_id);
     CHECK(work_table != nullptr)
         << "CSE " << node_.cse_id << " was not materialized before use";
+    store_ = &work_table->columns();
     Layout storage_layout(node_.input_cols);
     OpenScan(storage_layout);
-    source_ = &work_table->rows();
     count_spool_reads_ = true;
   }
 };
@@ -456,6 +459,19 @@ class HashJoinOp : public Operator {
       }
     }
 
+    // Fused probes gather the probe row only when it has matches (and only
+    // the columns the output copies), so filtered-out and matchless rows
+    // never materialize. A residual (or the general hash path) needs the
+    // full storage-width row.
+    left_gather_.clear();
+    if (fused_ != nullptr) {
+      if (int_key_ && bound_residual_ == nullptr) {
+        for (const OutCopy& c : out_left_) left_gather_.push_back(c.src);
+      } else {
+        for (int i = 0; i < left_width_; ++i) left_gather_.push_back(i);
+      }
+    }
+
     matches_ = nullptr;
     match_idx_ = 0;
     chain_ = -1;
@@ -464,8 +480,7 @@ class HashJoinOp : public Operator {
     probe_.clear();
     probe_idx_ = 0;
     fcursor_ = 0;
-    win_start_ = 0;
-    win_size_ = 0;
+    win_count_ = 0;
     win_idx_ = 0;
   }
 
@@ -518,26 +533,7 @@ class HashJoinOp : public Operator {
         }
         continue;
       }
-      matches_ = nullptr;
-      const Row* probe = fused_ != nullptr ? FusedAdvance() : BatchAdvance();
-      if (probe == nullptr) break;
-      if (int_key_) {
-        // FusedAdvance extracted the key already; BatchAdvance did not.
-        if (fused_ == nullptr &&
-            !IntValueKey((*probe)[left_key_idx_[0]], &probe_key_)) {
-          continue;
-        }
-        chain_ = FindCached(probe_key_);
-        if (chain_ >= 0) cur_left_ = probe;
-      } else {
-        RowKeyRef ref{probe, &left_key_idx_, HashRowAt(*probe, left_key_idx_)};
-        auto it = build_.find(ref);
-        if (it != build_.end()) {
-          matches_ = &it->second;
-          match_idx_ = 0;
-          cur_left_ = probe;
-        }
-      }
+      if (!AdvanceProbe()) break;
     }
     return !out->empty();
   }
@@ -558,17 +554,24 @@ class HashJoinOp : public Operator {
         if (EmitRow(*cur_left_, (*matches_)[match_idx_++], out)) return true;
         continue;
       }
-      matches_ = nullptr;
-      const Row* probe = fused_ != nullptr ? FusedAdvance() : BatchAdvance();
-      if (probe == nullptr) return false;
+      if (!AdvanceProbe()) return false;
+    }
+  }
+
+  // Acquires the next probe row and looks it up in the build table, setting
+  // chain_ (int fast path) or matches_ plus cur_left_ when it has matches.
+  // Returns false at the end of the probe stream. A true return with
+  // nothing matched just means the caller should advance again.
+  bool AdvanceProbe() {
+    matches_ = nullptr;
+    if (fused_ != nullptr) {
+      int32_t row_id = FusedAdvance();  // sets probe_key_ on the int path
+      if (row_id < 0) return false;
       if (int_key_) {
-        if (fused_ == nullptr &&
-            !IntValueKey((*probe)[left_key_idx_[0]], &probe_key_)) {
-          continue;
-        }
         chain_ = FindCached(probe_key_);
-        if (chain_ >= 0) cur_left_ = probe;
+        if (chain_ >= 0) cur_left_ = GatherProbe(row_id);
       } else {
+        const Row* probe = GatherProbe(row_id);
         RowKeyRef ref{probe, &left_key_idx_, HashRowAt(*probe, left_key_idx_)};
         auto it = build_.find(ref);
         if (it != build_.end()) {
@@ -577,7 +580,36 @@ class HashJoinOp : public Operator {
           cur_left_ = probe;
         }
       }
+      return true;
     }
+    const Row* probe = BatchAdvance();
+    if (probe == nullptr) return false;
+    if (int_key_) {
+      if (!IntValueKey((*probe)[left_key_idx_[0]], &probe_key_)) return true;
+      chain_ = FindCached(probe_key_);
+      if (chain_ >= 0) cur_left_ = probe;
+    } else {
+      RowKeyRef ref{probe, &left_key_idx_, HashRowAt(*probe, left_key_idx_)};
+      auto it = build_.find(ref);
+      if (it != build_.end()) {
+        matches_ = &it->second;
+        match_idx_ = 0;
+        cur_left_ = probe;
+      }
+    }
+    return true;
+  }
+
+  // Gathers the needed columns of fused probe row `row_id` into the probe
+  // scratch row (full storage width; columns outside left_gather_ keep
+  // stale values the emit path never reads).
+  const Row* GatherProbe(int32_t row_id) {
+    probe_scratch_.resize(static_cast<size_t>(left_width_));
+    const ColumnStore& store = *fused_->store;
+    for (int j : left_gather_) {
+      probe_scratch_[static_cast<size_t>(j)] = store.column(j).Get(row_id);
+    }
+    return &probe_scratch_;
   }
 
   // Row-interface counterpart of Emit: writes the joined row to `out`;
@@ -629,65 +661,82 @@ class HashJoinOp : public Operator {
     }
   }
 
-  // Next probe row read in place from the fused scan's backing storage:
-  // windows of the source are filtered with the scan's own predicate and
-  // surviving rows are probed without ever being copied. Null join keys are
-  // folded into the window mask (nulls never join) and, on the int64 fast
-  // path, keys are extracted into key_buf_ in the same pass, so the per-row
-  // resume loop only tests the mask. Scan counters are credited per window,
-  // exactly as the scan itself would credit them.
-  const Row* FusedAdvance() {
-    const std::vector<Row>& rows = *fused_->rows;
+  // Next probe row id read in place from the fused scan's backing columns;
+  // -1 at end of stream. Windows are filtered through the scan's compiled
+  // kernels (plus row residual), then join-key null handling runs on the
+  // surviving selection vector — nulls never join — and, on the int64 fast
+  // path, keys are extracted into win_keys_ in the same typed pass, so the
+  // per-row resume only copies probe_key_. Surviving rows are probed
+  // without materializing; GatherProbe copies one only when it matches.
+  // Scan counters are credited per window, exactly as the scan itself
+  // would credit them.
+  int32_t FusedAdvance() {
+    const ColumnStore& store = *fused_->store;
     const std::vector<int64_t>* pos = fused_->positions;
     const int64_t limit = pos != nullptr ? static_cast<int64_t>(pos->size())
-                                         : static_cast<int64_t>(rows.size());
+                                         : store.num_rows();
     while (true) {
-      while (win_idx_ < win_size_) {
+      if (win_idx_ < win_count_) {
         int i = win_idx_++;
-        if (!keep_[i]) continue;
-        if (int_key_) probe_key_ = key_buf_[i];
-        return pos != nullptr ? &rows[(*pos)[win_start_ + i]]
-                              : &rows[win_start_ + i];
+        if (int_key_) probe_key_ = win_keys_[i];
+        return win_sel_[i];
       }
-      if (fcursor_ >= limit) return nullptr;
-      win_start_ = fcursor_;
-      win_size_ = static_cast<int>(
+      if (fcursor_ >= limit) return -1;
+      const int window = static_cast<int>(
           std::min<int64_t>(RowBatch::kDefaultCapacity, limit - fcursor_));
-      fcursor_ += win_size_;
-      ctx_->rows_scanned += win_size_;
-      if (fused_->count_spool_reads) ctx_->spool_rows_read += win_size_;
-      keep_.assign(static_cast<size_t>(win_size_), 1);
-      if (fused_->filter != nullptr) {
-        if (pos != nullptr) {
-          for (int i = 0; i < win_size_; ++i) {
-            keep_[i] =
-                EvalPredicate(fused_->filter, rows[(*pos)[win_start_ + i]]);
+      ctx_->rows_scanned += window;
+      if (fused_->count_spool_reads) ctx_->spool_rows_read += window;
+      win_sel_.resize(static_cast<size_t>(window));
+      int count = FilterWindow(store, pos, *fused_->pred, fcursor_, window,
+                               win_sel_.data(), &scratch_row_);
+      fcursor_ += window;
+      if (int_key_) {
+        const Column& kcol = store.column(left_key_idx_[0]);
+        win_keys_.resize(static_cast<size_t>(count));
+        const NullBitmap& nulls = kcol.nulls();
+        int kept = 0;
+        if (kcol.type() == DataType::kString) {
+          count = 0;  // string keys never take the int path (IntValueKey)
+        } else if (kcol.type() == DataType::kDouble) {
+          const double* v = kcol.doubles();
+          for (int i = 0; i < count; ++i) {
+            int32_t r = win_sel_[i];
+            if (nulls.any() && nulls.Test(r)) continue;
+            double d = v[r];
+            if (d != std::floor(d) || std::abs(d) >= 9.0e18) continue;
+            win_sel_[kept] = r;
+            win_keys_[kept] = static_cast<int64_t>(d);
+            ++kept;
           }
+          count = kept;
+        } else if (nulls.any()) {
+          const int64_t* v = kcol.ints();
+          for (int i = 0; i < count; ++i) {
+            int32_t r = win_sel_[i];
+            if (nulls.Test(r)) continue;
+            win_sel_[kept] = r;
+            win_keys_[kept] = v[r];
+            ++kept;
+          }
+          count = kept;
         } else {
-          EvalPredicateBatch(fused_->filter, rows.data() + win_start_,
-                             win_size_, keep_.data());
+          const int64_t* v = kcol.ints();
+          for (int i = 0; i < count; ++i) win_keys_[i] = v[win_sel_[i]];
         }
-      }
-      if (int_key_) key_buf_.resize(static_cast<size_t>(win_size_));
-      int64_t kept = 0;
-      for (int i = 0; i < win_size_; ++i) {
-        if (!keep_[i]) continue;
-        const Row& row = pos != nullptr ? rows[(*pos)[win_start_ + i]]
-                                        : rows[win_start_ + i];
-        if (int_key_) {
-          const Value& v = row[left_key_idx_[0]];
-          if (v.is_null() || !IntValueKey(v, &key_buf_[i])) {
-            keep_[i] = 0;
-            continue;
+      } else {
+        for (int k : left_key_idx_) {
+          const NullBitmap& nulls = store.column(k).nulls();
+          if (!nulls.any()) continue;
+          int kept = 0;
+          for (int i = 0; i < count; ++i) {
+            if (!nulls.Test(win_sel_[i])) win_sel_[kept++] = win_sel_[i];
           }
-        } else if (HasNullAt(row, left_key_idx_)) {
-          keep_[i] = 0;
-          continue;
+          count = kept;
         }
-        ++kept;
       }
-      fused_->stats->rows_out += kept;
-      stats_->rows_in += kept;
+      fused_->stats->rows_out += count;
+      stats_->rows_in += count;
+      win_count_ = count;
       win_idx_ = 0;
     }
   }
@@ -733,7 +782,6 @@ class HashJoinOp : public Operator {
   IntKeyTable table_;
   int32_t chain_ = -1;           // next build-row index matching cur_left_
   int64_t probe_key_ = 0;        // int64 key of the current probe row
-  std::vector<int64_t> key_buf_;  // per-window extracted probe keys
   // Single-entry probe cache: clustered inputs (e.g. lineitem ordered by
   // l_orderkey) repeat the same key on consecutive probes.
   bool has_last_ = false;
@@ -754,13 +802,17 @@ class HashJoinOp : public Operator {
   RowBatch probe_;
   int probe_idx_ = 0;
   const Row* cur_left_ = nullptr;  // probe row owning `matches_`
-  // Fused-scan probe state (filtered window over the scan's backing rows).
+  // Fused-scan probe state (filtered window over the scan's backing
+  // columns; see FusedAdvance / GatherProbe).
   ScanSource* fused_ = nullptr;
   int64_t fcursor_ = 0;
-  int64_t win_start_ = 0;
-  int win_size_ = 0;
+  int win_count_ = 0;
   int win_idx_ = 0;
-  std::vector<uint8_t> keep_;
+  std::vector<int32_t> win_sel_;   // surviving row ids of the window
+  std::vector<int64_t> win_keys_;  // their int64 keys (int fast path)
+  std::vector<int> left_gather_;   // store columns GatherProbe must fill
+  Row probe_scratch_;              // gathered probe row (fused path)
+  Row scratch_row_;                // residual-eval scratch (FilterWindow)
   Row concat_;  // reusable concat scratch row (residual path)
   const std::vector<Row>* matches_ = nullptr;
   size_t match_idx_ = 0;
@@ -993,7 +1045,8 @@ class IndexNlJoinOp : public Operator {
   bool NextImpl(Row* out) override {
     while (true) {
       while (match_idx_ < matches_.size()) {
-        const Row& inner = node_.table->rows()[matches_[match_idx_++]];
+        node_.table->GetRow(matches_[match_idx_++], &inner_scratch_);
+        const Row& inner = inner_scratch_;
         ++ctx_->rows_scanned;
         if (bound_inner_filter_ != nullptr &&
             !EvalPredicate(bound_inner_filter_, inner)) {
@@ -1013,8 +1066,7 @@ class IndexNlJoinOp : public Operator {
       matches_.clear();
       match_idx_ = 0;
       if (key.is_null()) continue;  // nulls never join
-      matches_ = index_->RangeLookup(&key, true, &key, true,
-                                     node_.table->rows());
+      matches_ = index_->RangeLookup(&key, true, &key, true);
     }
   }
 
@@ -1027,6 +1079,7 @@ class IndexNlJoinOp : public Operator {
   ExprPtr bound_residual_;
   std::vector<int> map_;
   Row current_outer_;
+  Row inner_scratch_;  // gathered inner row (columnar storage)
   std::vector<int64_t> matches_;
   size_t match_idx_ = 0;
 };
@@ -1040,14 +1093,30 @@ class HashAggOp : public Operator {
 
   void OpenImpl() override {
     child_->Open();
-    // Scan fusion: accumulate straight off the child scan's backing rows
-    // (batch mode only); group keys and aggregate arguments then bind
-    // against the scan's storage layout instead of its output layout.
+    // Scan fusion: accumulate straight off the child scan's backing columns
+    // (batch mode only). Group keys and aggregate arguments then bind
+    // against a narrow layout holding only the columns the aggregation
+    // reads; FusedAccumulate gathers exactly those per surviving row, so
+    // unused columns of a wide table are never touched.
     ScanSource* fused =
         ctx_->mode == ExecMode::kBatch ? child_->AsScanSource() : nullptr;
     if (fused != nullptr) fused->stats->fused = true;
+    Layout narrow_layout;
+    narrow_map_.clear();
+    if (fused != nullptr) {
+      std::set<ColId> needed(node_.group_cols.begin(), node_.group_cols.end());
+      for (const AggregateItem& a : node_.aggs) CollectColumns(a.arg, &needed);
+      std::vector<ColId> cols;
+      for (ColId c : needed) {
+        int idx = fused->storage.IndexOf(c);
+        CHECK(idx >= 0) << "agg input column missing from scan storage";
+        cols.push_back(c);
+        narrow_map_.push_back(idx);
+      }
+      narrow_layout = Layout(std::move(cols));
+    }
     const Layout& child_layout =
-        fused != nullptr ? fused->storage : node_.children[0]->output;
+        fused != nullptr ? narrow_layout : node_.children[0]->output;
     group_idx_.clear();
     for (ColId c : node_.group_cols) {
       int idx = child_layout.IndexOf(c);
@@ -1117,40 +1186,37 @@ class HashAggOp : public Operator {
   }
 
  private:
-  // Accumulates straight off a fused scan's backing rows: windows are
-  // filtered with the scan's own predicate and surviving rows feed the
-  // accumulators in place — the scan's output rows are never materialized.
-  // Scan counters are credited exactly as the scan itself would.
+  // Accumulates straight off a fused scan's backing columns: windows are
+  // filtered through the scan's compiled kernels (plus row residual) and
+  // each surviving row is gathered narrow — only the columns the group keys
+  // and aggregate arguments read (narrow_map_) — before feeding the
+  // accumulators. Scan counters are credited exactly as the scan itself
+  // would credit them.
   void FusedAccumulate(ScanSource* src,
                        RowKeyMap<std::vector<AggAccumulator>>* groups) {
-    const std::vector<Row>& rows = *src->rows;
+    const ColumnStore& store = *src->store;
     const std::vector<int64_t>* pos = src->positions;
     const int64_t limit = pos != nullptr ? static_cast<int64_t>(pos->size())
-                                         : static_cast<int64_t>(rows.size());
-    std::vector<uint8_t> keep;
+                                         : store.num_rows();
+    std::vector<int32_t> sel;
+    Row scratch;
+    Row narrow(narrow_map_.size());
     for (int64_t start = 0; start < limit;) {
       int window = static_cast<int>(
           std::min<int64_t>(RowBatch::kDefaultCapacity, limit - start));
       ctx_->rows_scanned += window;
       if (src->count_spool_reads) ctx_->spool_rows_read += window;
-      keep.assign(static_cast<size_t>(window), 1);
-      if (src->filter != nullptr) {
-        if (pos != nullptr) {
-          for (int i = 0; i < window; ++i) {
-            keep[i] = EvalPredicate(src->filter, rows[(*pos)[start + i]]);
-          }
-        } else {
-          EvalPredicateBatch(src->filter, rows.data() + start, window,
-                             keep.data());
+      sel.resize(static_cast<size_t>(window));
+      int count = FilterWindow(store, pos, *src->pred, start, window,
+                               sel.data(), &scratch);
+      src->stats->rows_out += count;
+      stats_->rows_in += count;
+      for (int i = 0; i < count; ++i) {
+        int32_t r = sel[i];
+        for (size_t j = 0; j < narrow_map_.size(); ++j) {
+          store.column(narrow_map_[j]).GetInto(r, &narrow[j]);
         }
-      }
-      for (int i = 0; i < window; ++i) {
-        if (!keep[i]) continue;
-        const Row& row =
-            pos != nullptr ? rows[(*pos)[start + i]] : rows[start + i];
-        ++src->stats->rows_out;
-        ++stats_->rows_in;
-        Accumulate(row, groups);
+        Accumulate(narrow, groups);
       }
       start += window;
     }
@@ -1191,6 +1257,7 @@ class HashAggOp : public Operator {
   std::vector<ExprPtr> bound_args_;
   std::vector<int> arg_idx_;  // column index per agg arg, -1 = general expr
   std::vector<int> map_;
+  std::vector<int> narrow_map_;  // store columns gathered per row (fused)
   std::vector<Row> results_;
   size_t cursor_ = 0;
 };

@@ -82,18 +82,21 @@ struct ExecContext {
   std::vector<std::unique_ptr<OperatorStats>> op_stats_;
 };
 
-// In-place access to an opened scan's backing storage, used for scan fusion
-// in batch mode: consumers that only read their input (hash-join probe, hash
-// aggregation) iterate the backing rows directly — applying the scan's
-// filter themselves — instead of pulling gathered copies through NextBatch.
-// Valid only after the scan's Open(); the backing vector must stay stable
+class CompiledPredicate;
+
+// In-place access to an opened scan's backing columnar storage, used for
+// scan fusion in batch mode: consumers that only read their input
+// (hash-join probe, hash aggregation) filter windows of the backing columns
+// through the scan's compiled predicate and gather only what they need —
+// instead of pulling fully materialized row copies through NextBatch.
+// Valid only after the scan's Open(); the backing store must stay immutable
 // for the consumer's lifetime (base tables and fully-materialized work
 // tables qualify; work tables are always built before their consumers run).
 struct ScanSource {
-  const std::vector<Row>* rows = nullptr;           // backing storage
+  const ColumnStore* store = nullptr;               // backing columns
   const std::vector<int64_t>* positions = nullptr;  // index-scan rows, else dense
-  ExprPtr filter;        // scan residual bound against `storage`; may be null
-  Layout storage;        // layout of the backing rows
+  const CompiledPredicate* pred = nullptr;  // scan filter kernels + residual
+  Layout storage;        // layout of the backing columns (store order)
   bool count_spool_reads = false;  // credit ExecContext::spool_rows_read
   OperatorStats* stats = nullptr;  // the scan's stats (fused consumers credit it)
 };

@@ -1,0 +1,174 @@
+#include "storage/column_store.h"
+
+namespace subshare {
+
+void Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  // Exact-type fidelity: the cell must come back as the same Value kind it
+  // went in as, or rendered results diverge between spooled and naive plans.
+  DCHECK(v.type() == type_);
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kBool:
+      ints_.push_back(v.AsInt64());
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case DataType::kString:
+      codes_.push_back(dict_.Intern(v.AsString()));
+      break;
+  }
+  nulls_.Append(false);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kBool:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      codes_.push_back(-1);
+      break;
+  }
+  nulls_.Append(true);
+}
+
+Value Column::Get(int64_t i) const {
+  if (IsNull(i)) return Value::Null(type_);
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(ints_[i]);
+    case DataType::kDate:
+      return Value::Date(ints_[i]);
+    case DataType::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case DataType::kDouble:
+      return Value::Double(doubles_[i]);
+    case DataType::kString:
+      return Value::String(dict_.value(codes_[i]));
+  }
+  return Value::Null(type_);
+}
+
+int Column::CompareAt(int64_t i, const Value& v) const {
+  bool cell_null = IsNull(i);
+  if (cell_null && v.is_null()) return 0;
+  if (cell_null) return -1;
+  if (v.is_null()) return 1;
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kBool: {
+      if (v.type() == DataType::kDouble) {
+        double a = static_cast<double>(ints_[i]);
+        double b = v.AsDouble();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      int64_t a = ints_[i];
+      int64_t b = v.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kDouble: {
+      double a = doubles_[i];
+      double b = v.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kString:
+      return dict_.value(codes_[i]).compare(v.AsString());
+  }
+  return 0;
+}
+
+void Column::FinalizeDict() {
+  if (type_ != DataType::kString || dict_.sorted()) return;
+  std::vector<int32_t> remap = dict_.Finalize();
+  for (int32_t& c : codes_) {
+    if (c >= 0) c = remap[c];
+  }
+}
+
+void Column::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  codes_.clear();
+  dict_.Clear();
+  nulls_.Clear();
+}
+
+int64_t Column::ByteSize() const {
+  return static_cast<int64_t>(ints_.size() * sizeof(int64_t)) +
+         static_cast<int64_t>(doubles_.size() * sizeof(double)) +
+         static_cast<int64_t>(codes_.size() * sizeof(int32_t)) +
+         dict_.ByteSize() + nulls_.ByteSize();
+}
+
+void ColumnStore::Reset(const Schema& schema) {
+  columns_.clear();
+  columns_.reserve(schema.num_columns());
+  for (const ColumnSchema& cs : schema.columns()) columns_.emplace_back(cs.type);
+  num_rows_ = 0;
+}
+
+void ColumnStore::AppendRow(const Row& row) {
+  DCHECK(static_cast<int>(row.size()) == num_columns());
+  for (int c = 0; c < num_columns(); ++c) columns_[c].Append(row[c]);
+  ++num_rows_;
+  // Selection vectors are int32; the engine never approaches this at its
+  // scale factors, but fail loudly rather than overflow.
+  CHECK(num_rows_ < (int64_t{1} << 31));
+}
+
+void ColumnStore::GetRow(int64_t i, Row* out) const {
+  out->resize(columns_.size());
+  for (int c = 0; c < num_columns(); ++c) (*out)[c] = columns_[c].Get(i);
+}
+
+Row ColumnStore::GetRow(int64_t i) const {
+  Row row;
+  GetRow(i, &row);
+  return row;
+}
+
+void ColumnStore::Clear() {
+  for (Column& c : columns_) c.Clear();
+  num_rows_ = 0;
+}
+
+void ColumnStore::FinalizeDicts() {
+  for (Column& c : columns_) c.FinalizeDict();
+}
+
+int64_t ColumnStore::ByteSize() const {
+  int64_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.ByteSize();
+  return bytes;
+}
+
+int64_t RowModelBytes(const ColumnStore& store) {
+  int64_t bytes = store.num_rows() * static_cast<int64_t>(sizeof(Row));
+  for (int c = 0; c < store.num_columns(); ++c) {
+    const Column& col = store.column(c);
+    bytes += store.num_rows() * static_cast<int64_t>(sizeof(Value));
+    if (col.type() == DataType::kString) {
+      for (int64_t i = 0; i < col.size(); ++i) {
+        if (!col.IsNull(i)) {
+          bytes +=
+              static_cast<int64_t>(col.dict().value(col.codes()[i]).size());
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace subshare

@@ -1,0 +1,80 @@
+// Per-column string dictionary: deduplicated string storage addressed by
+// dense int32 codes.
+//
+// FSST-style contract (DESIGN.md §10): after Finalize() — called by the bulk
+// loaders via Column::FinalizeDict() — the dictionary is sorted, so code
+// order equals value order and range predicates run directly on codes.
+// Incremental appends that intern a *new* string break that ordering; the
+// dictionary then serves order queries through a lazily rebuilt rank table
+// (rank(code) = position of the code's value among sorted distinct values)
+// until the next Finalize re-sorts and re-codes. Equality predicates run on
+// raw codes in either state.
+//
+// The value arena is append-only between Clear()/Finalize() calls: interned
+// std::string storage is stable, which is what lets fused scan consumers
+// hold column spans while they run (the fused-scan immutability contract).
+#ifndef SUBSHARE_STORAGE_STRING_DICT_H_
+#define SUBSHARE_STORAGE_STRING_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace subshare {
+
+class StringDictionary {
+ public:
+  // Code of `s`, interning it if absent. Codes are dense [0, size()) in
+  // insertion order; interning never changes existing codes.
+  int32_t Intern(const std::string& s);
+
+  // Code of `s`, or -1 without interning (predicate compilation).
+  int32_t Find(const std::string& s) const;
+
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+  const std::string& value(int32_t code) const { return values_[code]; }
+
+  // True iff code order equals value order (identity ranks).
+  bool sorted() const { return sorted_; }
+
+  // Rank table for order predicates on an unsorted dictionary; nullptr when
+  // sorted() (ranks are the identity). Stable until the next Intern of a
+  // new string or Finalize.
+  const int32_t* EnsureRanks() const;
+
+  // Number of distinct values strictly less than / at most `s` — the rank
+  // thresholds for range predicates.
+  int32_t LowerBoundRank(const std::string& s) const;
+  int32_t UpperBoundRank(const std::string& s) const;
+
+  // Smallest / largest interned value. Dictionary must be non-empty.
+  const std::string& MinValue() const;
+  const std::string& MaxValue() const;
+
+  // Re-codes the dictionary into value order and returns the old->new code
+  // remap (empty when already sorted). The owner must rewrite its code
+  // column through the remap. Afterwards sorted() holds.
+  std::vector<int32_t> Finalize();
+
+  void Clear();
+
+  // Arena + index footprint in bytes (codes are accounted by the column).
+  int64_t ByteSize() const;
+
+ private:
+  void EnsureSortedCodes() const;
+
+  std::vector<std::string> values_;                  // code -> value
+  std::unordered_map<std::string, int32_t> index_;   // value -> code
+  bool sorted_ = true;  // vacuously true while empty
+
+  // Lazy order structures for the unsorted state; empty = stale.
+  mutable std::vector<int32_t> sorted_codes_;  // codes in value order
+  mutable std::vector<int32_t> ranks_;         // code -> rank
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_STORAGE_STRING_DICT_H_

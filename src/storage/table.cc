@@ -5,106 +5,242 @@
 
 namespace {
 constexpr int kHistogramBuckets = 64;
-constexpr size_t kHistogramMinRows = 100;
+constexpr int64_t kHistogramMinRows = 100;
 }  // namespace
 
 namespace subshare {
 
-SortedIndex::SortedIndex(const std::vector<Row>& rows, int column)
-    : column_(column) {
-  order_.resize(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) order_[i] = static_cast<int64_t>(i);
-  std::sort(order_.begin(), order_.end(), [&](int64_t a, int64_t b) {
-    return rows[a][column].Compare(rows[b][column]) < 0;
-  });
+SortedIndex::SortedIndex(const ColumnStore& store, int column)
+    : store_(&store), column_(column) {
+  const Column& col = store.column(column);
+  order_.resize(store.num_rows());
+  for (int64_t i = 0; i < store.num_rows(); ++i) order_[i] = i;
+  // Null-first ordering, matching Value::Compare.
+  auto null_ordered = [&col](int64_t a, int64_t b, auto&& less) {
+    if (col.IsNull(a)) return !col.IsNull(b);
+    if (col.IsNull(b)) return false;
+    return less(a, b);
+  };
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kBool: {
+      const int64_t* v = col.ints();
+      std::sort(order_.begin(), order_.end(), [&](int64_t a, int64_t b) {
+        return null_ordered(a, b,
+                            [v](int64_t x, int64_t y) { return v[x] < v[y]; });
+      });
+      break;
+    }
+    case DataType::kDouble: {
+      const double* v = col.doubles();
+      std::sort(order_.begin(), order_.end(), [&](int64_t a, int64_t b) {
+        return null_ordered(a, b,
+                            [v](int64_t x, int64_t y) { return v[x] < v[y]; });
+      });
+      break;
+    }
+    case DataType::kString: {
+      const int32_t* codes = col.codes();
+      const int32_t* ranks = col.dict().EnsureRanks();  // nullptr = identity
+      std::sort(order_.begin(), order_.end(), [&](int64_t a, int64_t b) {
+        return null_ordered(a, b, [&](int64_t x, int64_t y) {
+          int32_t cx = codes[x], cy = codes[y];
+          return ranks ? ranks[cx] < ranks[cy] : cx < cy;
+        });
+      });
+      break;
+    }
+  }
 }
 
-std::vector<int64_t> SortedIndex::RangeLookup(
-    const Value* lo, bool lo_inclusive, const Value* hi, bool hi_inclusive,
-    const std::vector<Row>& rows) const {
-  auto value_less = [&](int64_t pos, const Value& v) {
-    return rows[pos][column_].Compare(v) < 0;
-  };
-  auto value_less_eq = [&](int64_t pos, const Value& v) {
-    return rows[pos][column_].Compare(v) <= 0;
-  };
-
+std::vector<int64_t> SortedIndex::RangeLookup(const Value* lo,
+                                              bool lo_inclusive,
+                                              const Value* hi,
+                                              bool hi_inclusive) const {
+  const Column& col = store_->column(column_);
   size_t begin = 0;
   if (lo != nullptr) {
-    auto it = lo_inclusive
-                  ? std::partition_point(
-                        order_.begin(), order_.end(),
-                        [&](int64_t pos) { return value_less(pos, *lo); })
-                  : std::partition_point(
-                        order_.begin(), order_.end(),
-                        [&](int64_t pos) { return value_less_eq(pos, *lo); });
+    auto below = [&](int64_t pos) {
+      return lo_inclusive ? col.CompareAt(pos, *lo) < 0
+                          : col.CompareAt(pos, *lo) <= 0;
+    };
+    auto it = std::partition_point(order_.begin(), order_.end(), below);
     begin = static_cast<size_t>(it - order_.begin());
   }
   size_t end = order_.size();
   if (hi != nullptr) {
-    auto it = hi_inclusive
-                  ? std::partition_point(
-                        order_.begin(), order_.end(),
-                        [&](int64_t pos) { return value_less_eq(pos, *hi); })
-                  : std::partition_point(
-                        order_.begin(), order_.end(),
-                        [&](int64_t pos) { return value_less(pos, *hi); });
+    auto not_past = [&](int64_t pos) {
+      return hi_inclusive ? col.CompareAt(pos, *hi) <= 0
+                          : col.CompareAt(pos, *hi) < 0;
+    };
+    auto it = std::partition_point(order_.begin(), order_.end(), not_past);
     end = static_cast<size_t>(it - order_.begin());
   }
   if (end < begin) end = begin;
   return std::vector<int64_t>(order_.begin() + begin, order_.begin() + end);
 }
 
-void Table::AppendRow(Row row) {
-  DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
-  rows_.push_back(std::move(row));
+TableLoader::TableLoader(Table* table) : table_(table) {}
+
+TableLoader& TableLoader::Int64(int64_t v) {
+  table_->data_.column(col_++).AppendInt64(v);
+  return *this;
+}
+
+TableLoader& TableLoader::Double(double v) {
+  table_->data_.column(col_++).AppendDouble(v);
+  return *this;
+}
+
+TableLoader& TableLoader::Str(const std::string& s) {
+  table_->data_.column(col_++).AppendString(s);
+  return *this;
+}
+
+TableLoader& TableLoader::Date(int64_t days) {
+  table_->data_.column(col_++).AppendInt64(days);
+  return *this;
+}
+
+TableLoader& TableLoader::Null() {
+  table_->data_.column(col_++).AppendNull();
+  return *this;
+}
+
+void TableLoader::EndRow() {
+  DCHECK(col_ == table_->schema().num_columns());
+  col_ = 0;
+  table_->data_.FinishRow();
+  table_->CommitMutation();
+}
+
+void Table::CommitMutation() {
   stats_valid_ = false;
   if (!indexes_.empty()) indexes_stale_ = true;
   ++version_;
 }
 
-void Table::AppendRows(std::vector<Row> rows) {
-  for (Row& r : rows) AppendRow(std::move(r));
+void Table::AppendRow(const Row& row) {
+  DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
+  data_.AppendRow(row);
+  CommitMutation();
+}
+
+void Table::AppendRows(const std::vector<Row>& rows) {
+  for (const Row& r : rows) AppendRow(r);
 }
 
 void Table::Clear() {
-  rows_.clear();
+  data_.Clear();
   indexes_.clear();
   indexes_stale_ = false;
   stats_valid_ = false;
   ++version_;
 }
 
+std::vector<Row> Table::MaterializeRows() const {
+  std::vector<Row> rows(static_cast<size_t>(data_.num_rows()));
+  for (int64_t i = 0; i < data_.num_rows(); ++i) data_.GetRow(i, &rows[i]);
+  return rows;
+}
+
 void Table::ComputeStats() {
+  // Re-code string dictionaries into value order first so the FSST-style
+  // "code order = value order" property holds for loaded tables. Safe here:
+  // nothing holds codes across a mutation, and stats follow a bulk load.
+  data_.FinalizeDicts();
+
   stats_.row_count = row_count();
   stats_.columns.assign(schema_.num_columns(), ColumnStats{});
+  const int64_t n = data_.num_rows();
   for (int c = 0; c < schema_.num_columns(); ++c) {
     ColumnStats& cs = stats_.columns[c];
-    std::unordered_set<size_t> hashes;
-    hashes.reserve(rows_.size());
-    bool first = true;
-    for (const Row& row : rows_) {
-      const Value& v = row[c];
-      if (v.is_null()) continue;
-      if (first || v.Compare(cs.min) < 0) cs.min = v;
-      if (first || v.Compare(cs.max) > 0) cs.max = v;
-      first = false;
-      hashes.insert(v.Hash());
+    const Column& col = data_.column(c);
+    const bool has_nulls = col.nulls().any();
+    const int64_t non_null = n - col.nulls().null_count();
+
+    switch (col.type()) {
+      case DataType::kString: {
+        // Dictionary is sorted and deduplicated: NDV and min/max are free.
+        const StringDictionary& dict = col.dict();
+        cs.ndv = dict.size();
+        if (!dict.empty() && non_null > 0) {
+          cs.min = Value::String(dict.MinValue());
+          cs.max = Value::String(dict.MaxValue());
+        }
+        break;
+      }
+      case DataType::kInt64:
+      case DataType::kDate:
+      case DataType::kBool: {
+        const int64_t* v = col.ints();
+        std::unordered_set<int64_t> distinct;
+        distinct.reserve(static_cast<size_t>(non_null));
+        bool first = true;
+        int64_t mn = 0, mx = 0;
+        for (int64_t i = 0; i < n; ++i) {
+          if (has_nulls && col.nulls().Test(i)) continue;
+          if (first || v[i] < mn) mn = v[i];
+          if (first || v[i] > mx) mx = v[i];
+          first = false;
+          distinct.insert(v[i]);
+        }
+        cs.ndv = static_cast<int64_t>(distinct.size());
+        if (!first) {
+          cs.min = col.type() == DataType::kDate ? Value::Date(mn)
+                   : col.type() == DataType::kBool ? Value::Bool(mn != 0)
+                                                   : Value::Int64(mn);
+          cs.max = col.type() == DataType::kDate ? Value::Date(mx)
+                   : col.type() == DataType::kBool ? Value::Bool(mx != 0)
+                                                   : Value::Int64(mx);
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        const double* v = col.doubles();
+        std::unordered_set<double> distinct;
+        distinct.reserve(static_cast<size_t>(non_null));
+        bool first = true;
+        double mn = 0, mx = 0;
+        for (int64_t i = 0; i < n; ++i) {
+          if (has_nulls && col.nulls().Test(i)) continue;
+          if (first || v[i] < mn) mn = v[i];
+          if (first || v[i] > mx) mx = v[i];
+          first = false;
+          distinct.insert(v[i]);
+        }
+        cs.ndv = static_cast<int64_t>(distinct.size());
+        if (!first) {
+          cs.min = Value::Double(mn);
+          cs.max = Value::Double(mx);
+        }
+        break;
+      }
     }
-    cs.ndv = static_cast<int64_t>(hashes.size());
 
     // Equi-depth histogram for numeric/date columns of non-trivial tables.
-    DataType type = schema_.column(c).type;
+    DataType type = col.type();
     if (type == DataType::kString || type == DataType::kBool ||
-        rows_.size() < kHistogramMinRows) {
+        n < kHistogramMinRows) {
       continue;
     }
     std::vector<double> values;
-    values.reserve(rows_.size());
-    for (const Row& row : rows_) {
-      if (!row[c].is_null()) values.push_back(row[c].AsDouble());
+    values.reserve(static_cast<size_t>(non_null));
+    if (type == DataType::kDouble) {
+      const double* v = col.doubles();
+      for (int64_t i = 0; i < n; ++i) {
+        if (!has_nulls || !col.nulls().Test(i)) values.push_back(v[i]);
+      }
+    } else {
+      const int64_t* v = col.ints();
+      for (int64_t i = 0; i < n; ++i) {
+        if (!has_nulls || !col.nulls().Test(i)) {
+          values.push_back(static_cast<double>(v[i]));
+        }
+      }
     }
-    if (values.size() < kHistogramMinRows) continue;
+    if (static_cast<int64_t>(values.size()) < kHistogramMinRows) continue;
     std::sort(values.begin(), values.end());
     cs.histogram_bounds.resize(kHistogramBuckets + 1);
     for (int b = 0; b <= kHistogramBuckets; ++b) {
@@ -140,13 +276,13 @@ double ColumnStats::FractionAtMost(double v) const {
 
 void Table::CreateIndex(int column) {
   CHECK(column >= 0 && column < schema_.num_columns());
-  indexes_[column] = std::make_unique<SortedIndex>(rows_, column);
+  indexes_[column] = std::make_unique<SortedIndex>(data_, column);
 }
 
 const SortedIndex* Table::GetIndex(int column) const {
   if (indexes_stale_) {
     for (auto& [col, index] : indexes_) {
-      index = std::make_unique<SortedIndex>(rows_, col);
+      index = std::make_unique<SortedIndex>(data_, col);
     }
     indexes_stale_ = false;
   }

@@ -1,4 +1,4 @@
-// In-memory row-store tables, per-column statistics, and sorted indexes.
+// In-memory column-store tables, per-column statistics, and sorted indexes.
 #ifndef SUBSHARE_STORAGE_TABLE_H_
 #define SUBSHARE_STORAGE_TABLE_H_
 
@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/column_store.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -38,29 +39,55 @@ struct TableStats {
 };
 
 // A sorted secondary index on one column: row positions ordered by value.
-// Supports range lookups [lo, hi] with open/closed bounds.
+// Supports range lookups [lo, hi] with open/closed bounds. Holds a pointer
+// to the store it was built over; the owning Table rebuilds it on mutation.
 class SortedIndex {
  public:
-  SortedIndex(const std::vector<Row>& rows, int column);
+  SortedIndex(const ColumnStore& store, int column);
 
   int column() const { return column_; }
 
   // Row positions whose indexed value lies in the given range. Null bounds
   // mean unbounded on that side.
   std::vector<int64_t> RangeLookup(const Value* lo, bool lo_inclusive,
-                                   const Value* hi, bool hi_inclusive,
-                                   const std::vector<Row>& rows) const;
+                                   const Value* hi, bool hi_inclusive) const;
 
  private:
+  const ColumnStore* store_;
   int column_;
   std::vector<int64_t> order_;  // row positions sorted by column value
 };
 
-// A named, schema'd collection of rows with statistics and optional indexes.
+class Table;
+
+// Bulk-load writer appending typed cells straight into a table's columns,
+// bypassing Value construction. One typed call per column in schema order,
+// then EndRow(). EndRow commits the row through the same bookkeeping as
+// AppendRow — version bump, stats/index invalidation — so this path keeps
+// the cache-invalidation contract (CLAUDE.md "before touching storage").
+class TableLoader {
+ public:
+  explicit TableLoader(Table* table);
+
+  TableLoader& Int64(int64_t v);
+  TableLoader& Double(double v);
+  TableLoader& Str(const std::string& s);
+  TableLoader& Date(int64_t days);
+  TableLoader& Null();
+  void EndRow();
+
+ private:
+  Table* table_;
+  int col_ = 0;
+};
+
+// A named, schema'd collection of rows stored column-major, with statistics
+// and optional indexes.
 class Table {
  public:
   Table(TableId id, std::string name, Schema schema)
-      : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+      : id_(id), name_(std::move(name)), schema_(std::move(schema)),
+        data_(schema_) {}
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -68,20 +95,30 @@ class Table {
   TableId id() const { return id_; }
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+  const ColumnStore& columns() const { return data_; }
+  int64_t row_count() const { return data_.num_rows(); }
 
-  void AppendRow(Row row);
-  void AppendRows(std::vector<Row> rows);
+  // Materializes row `i` (row-mode executor paths, tests). Prefer the
+  // columnar accessors in hot loops.
+  void GetRow(int64_t i, Row* out) const { data_.GetRow(i, out); }
+  Row GetRow(int64_t i) const { return data_.GetRow(i); }
+  // Materializes the entire table as rows (view maintenance, tests).
+  std::vector<Row> MaterializeRows() const;
+
+  void AppendRow(const Row& row);
+  void AppendRows(const std::vector<Row>& rows);
   void Clear();
 
-  // Monotonic content version: bumped on every mutation (append, clear).
-  // Cross-batch caches snapshot (id, version) pairs and treat any mismatch
-  // as an invalidation; the counter never decreases and never repeats.
+  // Monotonic content version: bumped on every mutation (append, clear,
+  // TableLoader::EndRow). Cross-batch caches snapshot (id, version) pairs
+  // and treat any mismatch as an invalidation; the counter never decreases
+  // and never repeats.
   uint64_t version() const { return version_; }
 
-  // Recomputes row count, min/max and exact NDV per column. Called once
-  // after bulk load; cheap at this repo's scale factors.
+  // Recomputes row count, min/max and exact NDV per column, and re-codes
+  // string dictionaries into value order (code order = value order until
+  // the next mutation interns a new string). Called once after bulk load;
+  // cheap at this repo's scale factors.
   void ComputeStats();
   const TableStats& stats() const { return stats_; }
   // True once ComputeStats has run for the current contents.
@@ -95,10 +132,15 @@ class Table {
   const SortedIndex* GetIndex(int column) const;
 
  private:
+  friend class TableLoader;
+
+  // Shared mutation bookkeeping: invalidate stats/indexes, bump version.
+  void CommitMutation();
+
   TableId id_;
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  ColumnStore data_;
   TableStats stats_;
   bool stats_valid_ = false;
   uint64_t version_ = 0;

@@ -2,13 +2,16 @@
 //
 // The paper's spool operator "materializes the result in a work table so that
 // it can be reused multiple times" (§2.2). The executor evaluates each chosen
-// CSE once into a WorkTable; SpoolScan operators then read it.
+// CSE once into a WorkTable; SpoolScan operators then read it. Storage is
+// column-major (storage/column_store.h), so spooled strings are dictionary
+// compressed and SpoolScan gets the same columnar fast path as base tables.
 #ifndef SUBSHARE_STORAGE_WORK_TABLE_H_
 #define SUBSHARE_STORAGE_WORK_TABLE_H_
 
 #include <memory>
 #include <unordered_map>
 
+#include "storage/column_store.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -16,31 +19,41 @@ namespace subshare {
 
 class WorkTable {
  public:
-  explicit WorkTable(Schema schema) : schema_(std::move(schema)) {}
+  explicit WorkTable(Schema schema)
+      : schema_(std::move(schema)), data_(schema_) {}
 
   const Schema& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+  const ColumnStore& columns() const { return data_; }
+  int64_t row_count() const { return data_.num_rows(); }
+
+  void GetRow(int64_t i, Row* out) const { data_.GetRow(i, out); }
+  Row GetRow(int64_t i) const { return data_.GetRow(i); }
 
   // Monotonic content version, mirroring Table::version().
   uint64_t version() const { return version_; }
 
-  void AppendRow(Row row) {
-    rows_.push_back(std::move(row));
+  void AppendRow(const Row& row) {
+    data_.AppendRow(row);
     ++version_;
   }
 
-  // Moves `n` rows into the table with a single capacity reservation (the
-  // batched spool-write path: one call per RowBatch instead of per row).
-  void AppendBatch(Row* rows, int64_t n) {
-    rows_.reserve(rows_.size() + static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) rows_.push_back(std::move(rows[i]));
+  // Appends `n` rows (the batched spool-write path: one call per RowBatch
+  // instead of per row).
+  void AppendBatch(const Row* rows, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) data_.AppendRow(rows[i]);
     version_ += static_cast<uint64_t>(n);
+  }
+
+  // Installs a recycled cache artifact wholesale (cache hit: the spool is
+  // the cached columns, no re-evaluation).
+  void AssignFrom(const ColumnStore& store) {
+    data_ = store;
+    version_ += static_cast<uint64_t>(store.num_rows()) + 1;
   }
 
  private:
   Schema schema_;
-  std::vector<Row> rows_;
+  ColumnStore data_;
   uint64_t version_ = 0;
 };
 

@@ -191,7 +191,7 @@ std::optional<Divergence> CacheDifferentialTester::Check(
     target = bases[rng_.Uniform(0, bases.size() - 1)];
   }
   target->AppendRow(
-      target->rows()[rng_.Uniform(0, target->row_count() - 1)]);
+      target->GetRow(rng_.Uniform(0, target->row_count() - 1)));
   target->ComputeStats();
 
   // The caches must not serve anything staled by the insert: the cached

@@ -357,11 +357,10 @@ std::string QueryGenerator::SampleLiteral(const TableInfo& t, int col_idx) {
     }
     case DataType::kString: {
       // Sample a live value so equality predicates actually select rows.
-      const auto& rows = t.table->rows();
       std::string v = "a";
-      if (!rows.empty()) {
-        const Value& cell =
-            rows[rng_.Uniform(0, static_cast<int>(rows.size()) - 1)][col_idx];
+      if (t.table->row_count() > 0) {
+        int64_t r = rng_.Uniform(0, t.table->row_count() - 1);
+        Value cell = t.table->columns().column(col_idx).Get(r);
         if (!cell.is_null()) v = cell.AsString();
       }
       // Strip quotes rather than worrying about lexer escape rules.
@@ -444,6 +443,11 @@ void QueryGenerator::PickJoinTree(int num_tables, QuerySpec* q) {
 GenPred QueryGenerator::RandomPred(const QuerySpec& q) {
   GenPred p;
   // Pick a random (table, column); retry a few times to avoid bool columns.
+  // A third of the time insist on a string column (retrying until one
+  // lands) so string equality/IN/range predicates — the dictionary-code
+  // kernels — appear at a meaningful rate rather than only when the
+  // uniform pick happens to hit one.
+  const bool want_string = rng_.Uniform(0, 2) == 0;
   const TableInfo* ti = nullptr;
   int col_idx = 0;
   for (int attempt = 0; attempt < 8; ++attempt) {
@@ -451,7 +455,12 @@ GenPred QueryGenerator::RandomPred(const QuerySpec& q) {
     ti = &tables_[TableIndex(q.tables[t])];
     col_idx = rng_.Uniform(0, ti->table->schema().num_columns() - 1);
     p.col = {t, ti->table->schema().column(col_idx).name};
-    if (ti->table->schema().column(col_idx).type != DataType::kBool) break;
+    DataType t_type = ti->table->schema().column(col_idx).type;
+    if (want_string && attempt < 7) {
+      if (t_type == DataType::kString) break;
+      continue;
+    }
+    if (t_type != DataType::kBool) break;
   }
   DataType type = ti->table->schema().column(col_idx).type;
   int form = rng_.Uniform(0, 9);
@@ -527,10 +536,23 @@ void QueryGenerator::AddGroupingAndAggs(QuerySpec* q) {
       }
     }
   }
+  // Low-NDV string columns (o_orderstatus, c_mktsegment, ...) are ideal
+  // dictionary-key group-bys; keep a separate pool so a third of grouped
+  // queries key on one deliberately.
+  std::vector<GenCol> low_string;
+  for (const GenCol& gc : low) {
+    const TableInfo& ti = tables_[TableIndex(q->tables[gc.tbl])];
+    int c = ti.table->schema().FindColumn(gc.col);
+    if (c >= 0 && ti.table->schema().column(c).type == DataType::kString) {
+      low_string.push_back(gc);
+    }
+  }
   const std::vector<GenCol>& pool = low.empty() ? any : low;
   int n_group = rng_.Uniform(1, 2);
   for (int i = 0; i < n_group; ++i) {
-    GenCol gc = pool[rng_.Uniform(0, static_cast<int>(pool.size()) - 1)];
+    const bool use_string = !low_string.empty() && rng_.Uniform(0, 2) == 0;
+    const std::vector<GenCol>& from = use_string ? low_string : pool;
+    GenCol gc = from[rng_.Uniform(0, static_cast<int>(from.size()) - 1)];
     bool dup = false;
     for (const auto& g : q->group_cols) {
       if (SameCol(g, gc)) dup = true;

@@ -157,63 +157,86 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   const int64_t date_lo = CivilToDays(1992, 1, 1);
   const int64_t date_hi = CivilToDays(1998, 8, 2);
 
+  // All loaders write typed cells straight into the columns (no Value
+  // construction per cell); EndRow commits through the same version-bump
+  // bookkeeping as AppendRow.
+
   // region
   ASSIGN_OR_RETURN(Table * region, catalog->CreateTable("region",
                                                         RegionSchema()));
-  for (int64_t k = 0; k < 5; ++k) {
-    region->AppendRow({Value::Int64(k), Value::String(kRegions[k]),
-                       Value::String("region comment")});
+  {
+    TableLoader load(region);
+    for (int64_t k = 0; k < 5; ++k) {
+      load.Int64(k).Str(kRegions[k]).Str("region comment").EndRow();
+    }
   }
 
   // nation
   ASSIGN_OR_RETURN(Table * nation, catalog->CreateTable("nation",
                                                         NationSchema()));
-  for (int64_t k = 0; k < 25; ++k) {
-    nation->AppendRow({Value::Int64(k), Value::String(kNations[k]),
-                       Value::Int64(kNationRegion[k]),
-                       Value::String("nation comment")});
+  {
+    TableLoader load(nation);
+    for (int64_t k = 0; k < 25; ++k) {
+      load.Int64(k)
+          .Str(kNations[k])
+          .Int64(kNationRegion[k])
+          .Str("nation comment")
+          .EndRow();
+    }
   }
 
   // supplier
   ASSIGN_OR_RETURN(Table * supplier,
                    catalog->CreateTable("supplier", SupplierSchema()));
   const int64_t n_supp = TpchRows("supplier", sf);
-  for (int64_t k = 1; k <= n_supp; ++k) {
-    supplier->AppendRow(
-        {Value::Int64(k), Value::String(StrFormat("Supplier#%09lld",
-                                                  static_cast<long long>(k))),
-         Value::Int64(rng.Uniform(0, 24)),
-         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
-         Value::String("supplier comment")});
+  {
+    TableLoader load(supplier);
+    for (int64_t k = 1; k <= n_supp; ++k) {
+      load.Int64(k)
+          .Str(StrFormat("Supplier#%09lld", static_cast<long long>(k)))
+          .Int64(rng.Uniform(0, 24))
+          .Double(rng.Uniform(-99999, 999999) / 100.0)
+          .Str("supplier comment")
+          .EndRow();
+    }
   }
 
   // part
   ASSIGN_OR_RETURN(Table * part, catalog->CreateTable("part", PartSchema()));
   const int64_t n_part = TpchRows("part", sf);
-  for (int64_t k = 1; k <= n_part; ++k) {
-    std::string type = std::string(Pick(rng, kTypeSyllable1)) + " " +
-                       Pick(rng, kTypeSyllable2) + " " +
-                       Pick(rng, kTypeSyllable3);
-    part->AppendRow(
-        {Value::Int64(k),
-         Value::String(StrFormat("Part#%09lld", static_cast<long long>(k))),
-         Value::String(StrFormat("Brand#%lld%lld",
-                                 static_cast<long long>(rng.Uniform(1, 5)),
-                                 static_cast<long long>(rng.Uniform(1, 5)))),
-         Value::String(std::move(type)), Value::Int64(rng.Uniform(1, 50)),
-         Value::String(Pick(rng, kContainers)),
-         Value::Double(900.0 + (k % 1000) + 0.01 * (k % 100))});
+  {
+    TableLoader load(part);
+    for (int64_t k = 1; k <= n_part; ++k) {
+      std::string type = std::string(Pick(rng, kTypeSyllable1)) + " " +
+                         Pick(rng, kTypeSyllable2) + " " +
+                         Pick(rng, kTypeSyllable3);
+      load.Int64(k)
+          .Str(StrFormat("Part#%09lld", static_cast<long long>(k)))
+          .Str(StrFormat("Brand#%lld%lld",
+                         static_cast<long long>(rng.Uniform(1, 5)),
+                         static_cast<long long>(rng.Uniform(1, 5))))
+          .Str(type)
+          .Int64(rng.Uniform(1, 50))
+          .Str(Pick(rng, kContainers))
+          .Double(900.0 + (k % 1000) + 0.01 * (k % 100))
+          .EndRow();
+    }
   }
 
   // partsupp: 4 suppliers per part.
   ASSIGN_OR_RETURN(Table * partsupp,
                    catalog->CreateTable("partsupp", PartSuppSchema()));
-  for (int64_t p = 1; p <= n_part; ++p) {
-    for (int j = 0; j < 4; ++j) {
-      int64_t s = 1 + ((p + j * (n_supp / 4 + 1)) % n_supp);
-      partsupp->AppendRow({Value::Int64(p), Value::Int64(s),
-                           Value::Int64(rng.Uniform(1, 9999)),
-                           Value::Double(rng.Uniform(100, 100000) / 100.0)});
+  {
+    TableLoader load(partsupp);
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        int64_t s = 1 + ((p + j * (n_supp / 4 + 1)) % n_supp);
+        load.Int64(p)
+            .Int64(s)
+            .Int64(rng.Uniform(1, 9999))
+            .Double(rng.Uniform(100, 100000) / 100.0)
+            .EndRow();
+      }
     }
   }
 
@@ -221,15 +244,19 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   ASSIGN_OR_RETURN(Table * customer,
                    catalog->CreateTable("customer", CustomerSchema()));
   const int64_t n_cust = TpchRows("customer", sf);
-  for (int64_t k = 1; k <= n_cust; ++k) {
-    int64_t nk = rng.Uniform(0, 24);
-    customer->AppendRow(
-        {Value::Int64(k),
-         Value::String(StrFormat("Customer#%09lld", static_cast<long long>(k))),
-         Value::String("address"), Value::Int64(nk),
-         Value::String(StrFormat("%02lld-phone", static_cast<long long>(nk))),
-         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
-         Value::String(Pick(rng, kSegments))});
+  {
+    TableLoader load(customer);
+    for (int64_t k = 1; k <= n_cust; ++k) {
+      int64_t nk = rng.Uniform(0, 24);
+      load.Int64(k)
+          .Str(StrFormat("Customer#%09lld", static_cast<long long>(k)))
+          .Str("address")
+          .Int64(nk)
+          .Str(StrFormat("%02lld-phone", static_cast<long long>(nk)))
+          .Double(rng.Uniform(-99999, 999999) / 100.0)
+          .Str(Pick(rng, kSegments))
+          .EndRow();
+    }
   }
 
   // orders + lineitem
@@ -238,36 +265,50 @@ Status LoadTpch(Catalog* catalog, const TpchOptions& options) {
   ASSIGN_OR_RETURN(Table * lineitem,
                    catalog->CreateTable("lineitem", LineitemSchema()));
   const int64_t n_orders = TpchRows("orders", sf);
-  for (int64_t k = 1; k <= n_orders; ++k) {
-    int64_t custkey = rng.Uniform(1, n_cust);
-    int64_t odate = rng.Uniform(date_lo, date_hi);
-    int64_t n_lines = rng.Uniform(1, 7);
-    double total = 0;
-    for (int64_t ln = 1; ln <= n_lines; ++ln) {
-      int64_t partkey = rng.Uniform(1, n_part);
-      int64_t suppkey = rng.Uniform(1, n_supp);
-      double qty = static_cast<double>(rng.Uniform(1, 50));
-      double price = qty * (900.0 + (partkey % 1000) + 0.01 * (partkey % 100));
-      double discount = rng.Uniform(0, 10) / 100.0;
-      double tax = rng.Uniform(0, 8) / 100.0;
-      int64_t shipdate = odate + rng.Uniform(1, 121);
-      const char* rf = shipdate < CivilToDays(1995, 6, 17)
-                           ? (rng.Uniform(0, 1) ? "R" : "A")
-                           : "N";
-      lineitem->AppendRow(
-          {Value::Int64(k), Value::Int64(partkey), Value::Int64(suppkey),
-           Value::Int64(ln), Value::Double(qty), Value::Double(price),
-           Value::Double(discount), Value::Double(tax), Value::String(rf),
-           Value::String(shipdate < CivilToDays(1995, 6, 17) ? "F" : "O"),
-           Value::Date(shipdate), Value::String(Pick(rng, kShipModes))});
-      total += price * (1.0 - discount) * (1.0 + tax);
+  {
+    TableLoader load_orders(orders);
+    TableLoader load_lineitem(lineitem);
+    for (int64_t k = 1; k <= n_orders; ++k) {
+      int64_t custkey = rng.Uniform(1, n_cust);
+      int64_t odate = rng.Uniform(date_lo, date_hi);
+      int64_t n_lines = rng.Uniform(1, 7);
+      double total = 0;
+      for (int64_t ln = 1; ln <= n_lines; ++ln) {
+        int64_t partkey = rng.Uniform(1, n_part);
+        int64_t suppkey = rng.Uniform(1, n_supp);
+        double qty = static_cast<double>(rng.Uniform(1, 50));
+        double price =
+            qty * (900.0 + (partkey % 1000) + 0.01 * (partkey % 100));
+        double discount = rng.Uniform(0, 10) / 100.0;
+        double tax = rng.Uniform(0, 8) / 100.0;
+        int64_t shipdate = odate + rng.Uniform(1, 121);
+        const char* rf = shipdate < CivilToDays(1995, 6, 17)
+                             ? (rng.Uniform(0, 1) ? "R" : "A")
+                             : "N";
+        load_lineitem.Int64(k)
+            .Int64(partkey)
+            .Int64(suppkey)
+            .Int64(ln)
+            .Double(qty)
+            .Double(price)
+            .Double(discount)
+            .Double(tax)
+            .Str(rf)
+            .Str(shipdate < CivilToDays(1995, 6, 17) ? "F" : "O")
+            .Date(shipdate)
+            .Str(Pick(rng, kShipModes))
+            .EndRow();
+        total += price * (1.0 - discount) * (1.0 + tax);
+      }
+      load_orders.Int64(k)
+          .Int64(custkey)
+          .Str(odate < CivilToDays(1995, 6, 17) ? "F" : "O")
+          .Double(total)
+          .Date(odate)
+          .Str(Pick(rng, kPriorities))
+          .Int64(0)
+          .EndRow();
     }
-    orders->AppendRow({Value::Int64(k), Value::Int64(custkey),
-                       Value::String(odate < CivilToDays(1995, 6, 17) ? "F"
-                                                                      : "O"),
-                       Value::Double(total), Value::Date(odate),
-                       Value::String(Pick(rng, kPriorities)),
-                       Value::Int64(0)});
   }
 
   for (const char* name :

@@ -200,7 +200,7 @@ TEST_F(CacheTest, InsertInvalidatesBothCaches) {
   Table* orders = db_.catalog().GetTable("orders");
   ASSERT_NE(orders, nullptr);
   uint64_t before = orders->version();
-  orders->AppendRow(orders->rows()[0]);
+  orders->AppendRow(orders->GetRow(0));
   orders->ComputeStats();
   EXPECT_GT(orders->version(), before);
 
@@ -248,7 +248,11 @@ TEST_F(CacheTest, ResultCacheEvictionPrefersLowBenefit) {
   schema.AddColumn("v", DataType::kInt64);
   std::vector<Row> rows;
   for (int i = 0; i < 10; ++i) rows.push_back({Value::Int64(i)});
-  int64_t entry_bytes = cache::EstimateRowsBytes(rows);
+  // Entries are charged at the true columnar footprint, so the budget has
+  // to be sized the same way.
+  ColumnStore columnar(schema);
+  for (const Row& r : rows) columnar.AppendRow(r);
+  int64_t entry_bytes = columnar.ByteSize();
 
   cache::ResultCache rc(&catalog, /*budget_bytes=*/entry_bytes * 2 + 1);
   EXPECT_TRUE(rc.Admit("low", {}, schema, rows, /*benefit=*/10));
@@ -280,7 +284,7 @@ TEST_F(CacheTest, ResultCacheInvalidatesOnVersionMismatch) {
   EXPECT_NE(rc.Lookup("k"), nullptr);
   EXPECT_EQ(rc.CountStale(), 0);
 
-  nation->AppendRow(nation->rows()[0]);
+  nation->AppendRow(nation->GetRow(0));
   EXPECT_EQ(rc.CountStale(), 1);
   EXPECT_EQ(rc.Lookup("k"), nullptr);  // lazily dropped
   EXPECT_EQ(rc.stats().invalidations, 1);

@@ -1,0 +1,7 @@
+select c_mktsegment, sum(o_totalprice) as agg0 from customer, orders where c_custkey = o_custkey and c_mktsegment = 'BUILDING' group by c_mktsegment;
+select o_orderpriority, count(*) as agg0 from customer, orders where c_custkey = o_custkey and c_mktsegment in ('AUTOMOBILE', 'MACHINERY') group by o_orderpriority;
+select l_shipmode, l_returnflag, sum(l_quantity) as agg0, count(*) as agg1 from lineitem where l_shipmode in ('AIR', 'REG AIR', 'TRUCK') and l_returnflag <> 'N' group by l_shipmode, l_returnflag;
+select o_orderstatus, max(o_totalprice) as agg0 from orders where o_orderpriority < '3-MEDIUM' group by o_orderstatus;
+select c_mktsegment, o_orderpriority, count(*) as agg0 from customer, orders where c_custkey = o_custkey and c_mktsegment >= 'FURNITURE' and o_orderpriority in ('1-URGENT', '2-HIGH') group by c_mktsegment, o_orderpriority;
+select l_returnflag, min(l_extendedprice) as agg0 from lineitem, orders where l_orderkey = o_orderkey and o_orderstatus = 'F' and l_shipmode = 'NO SUCH MODE' group by l_returnflag;
+select count(*) as agg0 from lineitem where l_linestatus = 'O' and l_shipmode <> 'MAIL'

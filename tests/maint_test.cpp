@@ -120,7 +120,7 @@ TEST_F(MaintTest, InsertMaintenanceMatchesRecomputation) {
   // The maintained view must equal recomputation from scratch.
   auto fresh = db_->Execute(view_sql);
   ASSERT_TRUE(fresh.ok());
-  EXPECT_EQ(Canon(views_->ViewTable("v1")->rows()),
+  EXPECT_EQ(Canon(views_->ViewTable("v1")->MaterializeRows()),
             Canon(fresh->statements[0].rows));
 }
 
@@ -232,7 +232,7 @@ TEST_F(MaintTest, SimilarViewsShareMaintenanceWork) {
   for (int i = 0; i < 3; ++i) {
     auto fresh = db_->Execute(defs[i]);
     ASSERT_TRUE(fresh.ok());
-    EXPECT_EQ(Canon(views_->ViewTable(names[i])->rows()),
+    EXPECT_EQ(Canon(views_->ViewTable(names[i])->MaterializeRows()),
               Canon(fresh->statements[0].rows))
         << names[i];
   }

@@ -237,8 +237,8 @@ TEST_F(SqlBindTest, JoinMatchesManualComputation) {
   int n_regionkey = nation->schema().FindColumn("n_regionkey");
   const Table* region = catalog_->GetTable("region");
   std::map<std::string, int64_t> expected;
-  for (const Row& n : nation->rows()) {
-    for (const Row& r : region->rows()) {
+  for (const Row& n : nation->MaterializeRows()) {
+    for (const Row& r : region->MaterializeRows()) {
       if (n[n_regionkey].AsInt64() == r[0].AsInt64()) {
         expected[r[1].AsString()]++;
       }
@@ -316,8 +316,10 @@ TEST_F(SqlBindTest, WhereScalarSubquery) {
   const Table* orders = catalog_->GetTable("orders");
   int price_col = orders->schema().FindColumn("o_totalprice");
   int64_t expected = 0;
-  for (const Row& r : orders->rows()) {
-    if (r[price_col].AsDouble() > avg) ++expected;
+  for (int64_t i = 0; i < orders->row_count(); ++i) {
+    if (orders->columns().column(price_col).Get(i).AsDouble() > avg) {
+      ++expected;
+    }
   }
   EXPECT_EQ(rows[0][0].AsInt64(), expected);
 }

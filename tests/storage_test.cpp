@@ -53,12 +53,12 @@ class SortedIndexTest : public ::testing::Test {
 TEST_F(SortedIndexTest, FullRange) {
   const SortedIndex* idx = table_->GetIndex(0);
   ASSERT_NE(idx, nullptr);
-  auto all = idx->RangeLookup(nullptr, false, nullptr, false, table_->rows());
+  auto all = idx->RangeLookup(nullptr, false, nullptr, false);
   EXPECT_EQ(all.size(), 6u);
   // Sorted order by key.
   int64_t prev = INT64_MIN;
   for (int64_t pos : all) {
-    int64_t v = table_->rows()[pos][0].AsInt64();
+    int64_t v = table_->GetRow(pos)[0].AsInt64();
     EXPECT_LE(prev, v);
     prev = v;
   }
@@ -68,15 +68,15 @@ TEST_F(SortedIndexTest, ClosedAndOpenBounds) {
   const SortedIndex* idx = table_->GetIndex(0);
   Value lo = Value::Int64(2), hi = Value::Int64(7);
   // [2, 7] -> 2,2,5,7
-  EXPECT_EQ(idx->RangeLookup(&lo, true, &hi, true, table_->rows()).size(), 4u);
+  EXPECT_EQ(idx->RangeLookup(&lo, true, &hi, true).size(), 4u);
   // (2, 7) -> 5
-  EXPECT_EQ(idx->RangeLookup(&lo, false, &hi, false, table_->rows()).size(),
+  EXPECT_EQ(idx->RangeLookup(&lo, false, &hi, false).size(),
             1u);
   // [2, 7) -> 2,2,5
-  EXPECT_EQ(idx->RangeLookup(&lo, true, &hi, false, table_->rows()).size(),
+  EXPECT_EQ(idx->RangeLookup(&lo, true, &hi, false).size(),
             3u);
   // unbounded below, <= 2 -> 1,2,2
-  EXPECT_EQ(idx->RangeLookup(nullptr, false, &lo, true, table_->rows()).size(),
+  EXPECT_EQ(idx->RangeLookup(nullptr, false, &lo, true).size(),
             3u);
 }
 
@@ -84,10 +84,10 @@ TEST_F(SortedIndexTest, EmptyRange) {
   const SortedIndex* idx = table_->GetIndex(0);
   Value lo = Value::Int64(100);
   EXPECT_TRUE(
-      idx->RangeLookup(&lo, true, nullptr, false, table_->rows()).empty());
+      idx->RangeLookup(&lo, true, nullptr, false).empty());
   Value hi = Value::Int64(0);
   EXPECT_TRUE(
-      idx->RangeLookup(nullptr, false, &hi, true, table_->rows()).empty());
+      idx->RangeLookup(nullptr, false, &hi, true).empty());
 }
 
 TEST(HistogramTest, EquiDepthBoundsOnSkewedData) {
@@ -159,7 +159,7 @@ TEST(TableTest, VersionChangesExactlyWhenContentsDo) {
   t.ComputeStats();
   t.CreateIndex(0);
   (void)t.GetIndex(0);
-  (void)t.rows();
+  (void)t.MaterializeRows();
   EXPECT_EQ(t.version(), v);
 
   // Clearing is a content change even when the table ends up empty, and
@@ -177,7 +177,7 @@ TEST(TableTest, StaleIndexRebuiltAfterAppend) {
   Value lo = Value::Int64(2);
   ASSERT_NE(t.GetIndex(0), nullptr);
   EXPECT_EQ(t.GetIndex(0)
-                ->RangeLookup(&lo, true, nullptr, true, t.rows())
+                ->RangeLookup(&lo, true, nullptr, true)
                 .size(),
             1u);
 }

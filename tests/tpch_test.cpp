@@ -46,15 +46,15 @@ TEST_F(TpchTest, ForeignKeysResolve) {
   const Table* customer = catalog_->GetTable("customer");
   int o_custkey = orders->schema().FindColumn("o_custkey");
   int64_t n_cust = customer->row_count();
-  for (const Row& r : orders->rows()) {
-    int64_t ck = r[o_custkey].AsInt64();
+  for (int64_t i = 0; i < orders->row_count(); ++i) {
+    int64_t ck = orders->columns().column(o_custkey).Get(i).AsInt64();
     ASSERT_GE(ck, 1);
     ASSERT_LE(ck, n_cust);
   }
   const Table* nation = catalog_->GetTable("nation");
   int n_regionkey = nation->schema().FindColumn("n_regionkey");
-  for (const Row& r : nation->rows()) {
-    int64_t rk = r[n_regionkey].AsInt64();
+  for (int64_t i = 0; i < nation->row_count(); ++i) {
+    int64_t rk = nation->columns().column(n_regionkey).Get(i).AsInt64();
     ASSERT_GE(rk, 0);
     ASSERT_LE(rk, 4);
   }
@@ -65,8 +65,8 @@ TEST_F(TpchTest, LineitemJoinsToOrders) {
   const Table* orders = catalog_->GetTable("orders");
   int l_orderkey = lineitem->schema().FindColumn("l_orderkey");
   int64_t max_order = orders->row_count();
-  for (const Row& r : lineitem->rows()) {
-    int64_t ok = r[l_orderkey].AsInt64();
+  for (int64_t i = 0; i < lineitem->row_count(); ++i) {
+    int64_t ok = lineitem->columns().column(l_orderkey).Get(i).AsInt64();
     ASSERT_GE(ok, 1);
     ASSERT_LE(ok, max_order);
   }
@@ -76,8 +76,8 @@ TEST_F(TpchTest, OrderDatesInSpecRange) {
   const Table* orders = catalog_->GetTable("orders");
   int col = orders->schema().FindColumn("o_orderdate");
   int64_t lo = CivilToDays(1992, 1, 1), hi = CivilToDays(1998, 8, 2);
-  for (const Row& r : orders->rows()) {
-    int64_t d = r[col].AsInt64();
+  for (int64_t i = 0; i < orders->row_count(); ++i) {
+    int64_t d = orders->columns().column(col).Get(i).AsInt64();
     ASSERT_GE(d, lo);
     ASSERT_LE(d, hi);
   }
@@ -87,7 +87,9 @@ TEST_F(TpchTest, MktSegmentDomain) {
   const Table* customer = catalog_->GetTable("customer");
   int col = customer->schema().FindColumn("c_mktsegment");
   std::set<std::string> segs;
-  for (const Row& r : customer->rows()) segs.insert(r[col].AsString());
+  for (int64_t i = 0; i < customer->row_count(); ++i) {
+    segs.insert(customer->columns().column(col).Get(i).AsString());
+  }
   EXPECT_LE(segs.size(), 5u);
   EXPECT_GE(segs.size(), 2u);
 }
@@ -111,8 +113,8 @@ TEST_F(TpchTest, DeterministicAcrossLoads) {
   const Table* l2 = cat2.GetTable("lineitem");
   ASSERT_EQ(l1->row_count(), l2->row_count());
   for (int64_t i = 0; i < l1->row_count(); i += 97) {
-    const Row& a = l1->rows()[i];
-    const Row& b = l2->rows()[i];
+    Row a = l1->GetRow(i);
+    Row b = l2->GetRow(i);
     for (size_t c = 0; c < a.size(); ++c) {
       ASSERT_EQ(a[c], b[c]) << "row " << i << " col " << c;
     }
