@@ -1,10 +1,21 @@
 #include "exec/executor.h"
 
+#include <cstdlib>
+#include <string>
+
 #include "util/check.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace subshare {
+
+bool DefaultPrefetchEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("SUBSHARE_PREFETCH");
+    return v == nullptr || std::string(v) != "0";
+  }();
+  return enabled;
+}
 
 std::string ExecutionMetrics::ExplainMetrics() const {
   std::string out = StrFormat(
@@ -29,6 +40,11 @@ std::string ExecutionMetrics::ExplainMetrics() const {
       static_cast<long long>(rows_scanned),
       static_cast<long long>(rows_spooled),
       static_cast<long long>(spool_rows_read), elapsed_seconds * 1e3);
+  out += StrFormat(
+      "  probe_windows=%lld probe_keys=%lld in_flight=%d prefetch=%s\n",
+      static_cast<long long>(probe_windows),
+      static_cast<long long>(probe_keys), probe_in_flight,
+      prefetch_enabled ? "on" : "off");
   return out;
 }
 
@@ -45,6 +61,7 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
   ExecContext ctx;
   ctx.work_tables = &work_tables;
   ctx.mode = options.mode;
+  ctx.prefetch = options.prefetch;
   ctx.time_operators = options.time_operators && metrics != nullptr;
 
   // Materialize each chosen CSE once (paper: the spool operator writes the
@@ -121,6 +138,10 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
     metrics->spools_admitted = spools_admitted;
     metrics->spool_bytes = spool_bytes;
     metrics->spool_bytes_row_model = spool_bytes_row_model;
+    metrics->probe_windows = ctx.probe_windows;
+    metrics->probe_keys = ctx.probe_keys;
+    metrics->probe_in_flight = ctx.probe_in_flight;
+    metrics->prefetch_enabled = ctx.prefetch;
     metrics->elapsed_seconds = timer.ElapsedSeconds();
     metrics->operators.clear();
     metrics->operators.reserve(ctx.op_stats().size());

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "physical/column_kernels.h"
+#include "storage/btree_index.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -124,18 +125,30 @@ bool HasNullAt(const Row& row, const std::vector<int>& idx) {
   return false;
 }
 
-// Open-addressed hash table over a single int64 join key: maps key -> chain
-// of build-row indexes (power-of-two capacity, linear probing). The batch
-// engine's fast path for integer-keyed equi-joins — building it does no
-// per-row allocation, unlike the general RowKey map.
-struct IntKeyTable {
+// Open-addressed hash table over one uint64 join key: maps key -> chain of
+// build-row indexes (power-of-two capacity, linear probing). The batch
+// engine's probe table for equi-joins: the int fast path stores the exact
+// int64 key bits (chains are per-key), the generic path stores the RowKey
+// hash (chains may interleave hash-colliding keys; callers filter at emit).
+// Building and probing do no per-row allocation, unlike the RowKey map.
+//
+// Probes run per window through FindBatch (DESIGN.md §11): with prefetch
+// enabled it is an AMAC-style state machine — up to kInFlight lookups in
+// flight, each issuing a prefetch for its next slot line and yielding, so
+// the DRAM latencies of a window's cache misses overlap instead of
+// serializing. With prefetch disabled it is the straight-line reference
+// loop (single-entry memo for clustered keys, e.g. lineitem by l_orderkey).
+struct ChainTable {
   struct Slot {
-    int64_t key;        // valid where head >= 0
+    uint64_t key;       // valid where head >= 0
     int32_t head = -1;  // first build-row index, -1 = empty
   };
   std::vector<Slot> slots;
-  std::vector<int32_t> next;  // build row -> next row with the same key
+  std::vector<int32_t> next;  // build row -> next row with the same slot key
   size_t mask = 0;
+
+  static constexpr int kInFlight = 8;        // AMAC probe states per window
+  static constexpr int kBuildLookahead = 8;  // build-side prefetch distance
 
   static uint64_t Mix(uint64_t x) {  // splitmix64 finalizer
     x += 0x9e3779b97f4a7c15ULL;
@@ -144,31 +157,95 @@ struct IntKeyTable {
     return x ^ (x >> 31);
   }
 
-  void Build(const std::vector<Row>& rows, int key_idx) {
+  // Inserts keys[i] -> rows[i] chains. `num_rows` sizes next (row indexes
+  // index into it); n <= num_rows since null-key rows are pre-filtered by
+  // the caller. With `prefetch`, the slot line of the insert kBuildLookahead
+  // ahead is requested before probing the current one.
+  void Build(const uint64_t* keys, const int32_t* rows, int n, int num_rows,
+             bool prefetch) {
     size_t cap = 16;
-    while (cap < rows.size() * 2) cap <<= 1;
+    while (cap < static_cast<size_t>(num_rows) * 2) cap <<= 1;
     mask = cap - 1;
     slots.assign(cap, Slot());
-    next.assign(rows.size(), -1);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Value& v = rows[i][key_idx];
-      if (v.is_null()) continue;  // nulls never join
-      int64_t k = v.AsInt64();
-      size_t s = Mix(static_cast<uint64_t>(k)) & mask;
+    next.assign(static_cast<size_t>(num_rows), -1);
+    for (int i = 0; i < n; ++i) {
+      if (prefetch && i + kBuildLookahead < n) {
+        PrefetchRead(&slots[Mix(keys[i + kBuildLookahead]) & mask]);
+      }
+      const uint64_t k = keys[i];
+      size_t s = Mix(k) & mask;
       while (slots[s].head >= 0 && slots[s].key != k) s = (s + 1) & mask;
       slots[s].key = k;
-      next[i] = slots[s].head;
-      slots[s].head = static_cast<int32_t>(i);
+      next[static_cast<size_t>(rows[i])] = slots[s].head;
+      slots[s].head = rows[i];
     }
   }
 
-  int32_t Find(int64_t k) const {
-    size_t s = Mix(static_cast<uint64_t>(k)) & mask;
+  int32_t Find(uint64_t k) const {
+    size_t s = Mix(k) & mask;
     while (slots[s].head >= 0) {
       if (slots[s].key == k) return slots[s].head;
       s = (s + 1) & mask;
     }
     return -1;
+  }
+
+  // Resolves the chain head for each of keys[0, n) into heads[0, n).
+  // Returns the in-flight depth used (for the probe counters).
+  int FindBatch(const uint64_t* keys, int n, int32_t* heads,
+                bool prefetch) const {
+    if (n == 0) return 0;
+    if (!prefetch) {
+      // Straight-line reference path; the memo serves clustered inputs.
+      uint64_t last_key = 0;
+      int32_t last_head = -1;
+      bool has_last = false;
+      for (int i = 0; i < n; ++i) {
+        if (!has_last || keys[i] != last_key) {
+          has_last = true;
+          last_key = keys[i];
+          last_head = Find(last_key);
+        }
+        heads[i] = last_head;
+      }
+      return 1;
+    }
+    struct State {
+      int idx;      // index into keys/heads
+      size_t slot;  // current slot under inspection
+    };
+    State st[kInFlight];
+    int feed = 0;  // next key to launch
+    int live = 0;  // states in flight
+    auto launch = [&](State* s) {
+      s->idx = feed;
+      s->slot = Mix(keys[feed]) & mask;
+      PrefetchRead(&slots[s->slot]);
+      ++feed;
+    };
+    while (live < kInFlight && feed < n) launch(&st[live++]);
+    const int depth = live;
+    while (live > 0) {
+      for (int k = 0; k < live;) {
+        State& s = st[k];
+        const Slot& sl = slots[s.slot];
+        if (sl.head >= 0 && sl.key != keys[s.idx]) {
+          s.slot = (s.slot + 1) & mask;  // occupied by another key: step on
+          PrefetchRead(&slots[s.slot]);
+          ++k;  // yield — let the prefetch land while siblings advance
+          continue;
+        }
+        heads[s.idx] = sl.head;  // hit (key match) or miss (empty slot)
+        if (sl.head >= 0) PrefetchRead(&next[static_cast<size_t>(sl.head)]);
+        if (feed < n) {
+          launch(&s);
+          ++k;
+        } else {
+          st[k] = st[--live];  // retire; re-examine the swapped-in state
+        }
+      }
+    }
+    return depth;
   }
 };
 
@@ -367,11 +444,12 @@ class FilterOp : public Operator {
 // ---------------------------------------------------------------- joins ---
 
 // Hash join: builds on the right child, probes with the left. Batched
-// probes hash the key columns in place and look the build table up through
-// RowKeyRef, so no key row is allocated per probe. When the probe child is
-// a scan over stable storage (ScanSource), the probe fuses with it: windows
-// of the backing rows are filtered and probed in place, skipping the scan's
-// per-row output copies entirely.
+// probes extract keys per window (in place, no key row allocated) and
+// resolve all chain heads through ChainTable::FindBatch — AMAC-interleaved
+// when ExecContext::prefetch is set, straight-line otherwise. When the
+// probe child is a scan over stable storage (ScanSource), the probe fuses
+// with it: windows of the backing rows are filtered and probed in place,
+// skipping the scan's per-row output copies entirely.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(const PhysicalNode& node, ExecContext* ctx)
@@ -392,12 +470,14 @@ class HashJoinOp : public Operator {
     build_rows_.clear();
     std::vector<Row> build_rows;
     DrainChild(right_.get(), &build_rows);
-    // The batch engine specializes the common single integer-backed join key
-    // (every TPC-H equi-join): a flat int64 table over the drained rows
-    // skips the variant dispatch of Value::Hash/Compare and all per-row
-    // allocation on both build and probe. Doubles and strings keep the
-    // general RowKey table, as does row mode (kept as the plain reference
-    // implementation).
+    // The batch engine probes through the ChainTable in both flavors. The
+    // common single integer-backed join key (every TPC-H equi-join) stores
+    // the exact int64 key bits, skipping the variant dispatch of
+    // Value::Hash/Compare and all per-row allocation on both build and
+    // probe. The generic path (multi-column, double, string keys) stores
+    // the RowKey hash; its chains may interleave hash-colliding keys, so
+    // emission filters through ChainKeysMatch. Row mode keeps the RowKey
+    // map as the plain reference implementation.
     int_key_ = ctx_->mode == ExecMode::kBatch && right_key_idx_.size() == 1;
     if (int_key_) {
       for (const Row& row : build_rows) {
@@ -409,9 +489,23 @@ class HashJoinOp : public Operator {
         }
       }
     }
-    if (int_key_) {
+    if (ctx_->mode == ExecMode::kBatch) {
       build_rows_ = std::move(build_rows);
-      table_.Build(build_rows_, right_key_idx_[0]);
+      std::vector<uint64_t> keys;
+      std::vector<int32_t> key_rows;
+      keys.reserve(build_rows_.size());
+      key_rows.reserve(build_rows_.size());
+      for (size_t i = 0; i < build_rows_.size(); ++i) {
+        const Row& row = build_rows_[i];
+        if (HasNullAt(row, right_key_idx_)) continue;  // nulls never join
+        keys.push_back(
+            int_key_
+                ? static_cast<uint64_t>(row[right_key_idx_[0]].AsInt64())
+                : static_cast<uint64_t>(HashRowAt(row, right_key_idx_)));
+        key_rows.push_back(static_cast<int32_t>(i));
+      }
+      table_.Build(keys.data(), key_rows.data(), static_cast<int>(keys.size()),
+                   static_cast<int>(build_rows_.size()), ctx_->prefetch);
     } else {
       build_.reserve(build_rows.size());
       for (Row& row : build_rows) {
@@ -475,10 +569,11 @@ class HashJoinOp : public Operator {
     matches_ = nullptr;
     match_idx_ = 0;
     chain_ = -1;
-    has_last_ = false;
+    cur_head_ = -1;
     cur_left_ = nullptr;
     probe_.clear();
     probe_idx_ = 0;
+    batch_heads_.clear();
     fcursor_ = 0;
     win_count_ = 0;
     win_idx_ = 0;
@@ -518,19 +613,16 @@ class HashJoinOp : public Operator {
 
   bool NextBatchImpl(RowBatch* out) override {
     while (!out->full()) {
-      // Emit the full match list/chain for the current probe row first (may
-      // overshoot capacity slightly; bounded by one match list).
+      // Emit the full chain for the current probe row first (may overshoot
+      // capacity slightly; bounded by one chain).
       if (chain_ >= 0) {
         do {
-          Emit(*cur_left_, build_rows_[static_cast<size_t>(chain_)], out);
+          const Row& right = build_rows_[static_cast<size_t>(chain_)];
           chain_ = table_.next[static_cast<size_t>(chain_)];
+          // Generic-path chains are keyed by hash; drop colliding keys.
+          if (!int_key_ && !ChainKeysMatch(*cur_left_, right)) continue;
+          Emit(*cur_left_, right, out);
         } while (chain_ >= 0);
-        continue;
-      }
-      if (matches_ != nullptr && match_idx_ < matches_->size()) {
-        while (match_idx_ < matches_->size()) {
-          Emit(*cur_left_, (*matches_)[match_idx_++], out);
-        }
         continue;
       }
       if (!AdvanceProbe()) break;
@@ -547,55 +639,47 @@ class HashJoinOp : public Operator {
       if (chain_ >= 0) {
         const Row& right = build_rows_[static_cast<size_t>(chain_)];
         chain_ = table_.next[static_cast<size_t>(chain_)];
+        if (!int_key_ && !ChainKeysMatch(*cur_left_, right)) continue;
         if (EmitRow(*cur_left_, right, out)) return true;
-        continue;
-      }
-      if (matches_ != nullptr && match_idx_ < matches_->size()) {
-        if (EmitRow(*cur_left_, (*matches_)[match_idx_++], out)) return true;
         continue;
       }
       if (!AdvanceProbe()) return false;
     }
   }
 
-  // Acquires the next probe row and looks it up in the build table, setting
-  // chain_ (int fast path) or matches_ plus cur_left_ when it has matches.
-  // Returns false at the end of the probe stream. A true return with
-  // nothing matched just means the caller should advance again.
+  // Exact key equality between a probe row and a chained build row, with
+  // the same cross-type semantics the RowKey map used (KeyValueEq). Needed
+  // on the generic path only: its chains are keyed by hash, so rows whose
+  // keys collide share a chain.
+  bool ChainKeysMatch(const Row& left_row, const Row& right_row) const {
+    for (size_t i = 0; i < left_key_idx_.size(); ++i) {
+      if (!KeyValueEq(left_row[left_key_idx_[i]],
+                      right_row[right_key_idx_[i]])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Acquires the next probe row whose chain head was resolved by the
+  // window's FindBatch, setting chain_ and cur_left_ when it has (possible)
+  // matches. Returns false at the end of the probe stream. A true return
+  // with nothing matched just means the caller should advance again.
   bool AdvanceProbe() {
-    matches_ = nullptr;
     if (fused_ != nullptr) {
-      int32_t row_id = FusedAdvance();  // sets probe_key_ on the int path
+      int32_t row_id = FusedAdvance();  // sets cur_head_ per surviving row
       if (row_id < 0) return false;
-      if (int_key_) {
-        chain_ = FindCached(probe_key_);
-        if (chain_ >= 0) cur_left_ = GatherProbe(row_id);
-      } else {
-        const Row* probe = GatherProbe(row_id);
-        RowKeyRef ref{probe, &left_key_idx_, HashRowAt(*probe, left_key_idx_)};
-        auto it = build_.find(ref);
-        if (it != build_.end()) {
-          matches_ = &it->second;
-          match_idx_ = 0;
-          cur_left_ = probe;
-        }
+      if (cur_head_ >= 0) {
+        chain_ = cur_head_;
+        cur_left_ = GatherProbe(row_id);
       }
       return true;
     }
-    const Row* probe = BatchAdvance();
+    const Row* probe = BatchAdvance();  // sets cur_head_
     if (probe == nullptr) return false;
-    if (int_key_) {
-      if (!IntValueKey((*probe)[left_key_idx_[0]], &probe_key_)) return true;
-      chain_ = FindCached(probe_key_);
-      if (chain_ >= 0) cur_left_ = probe;
-    } else {
-      RowKeyRef ref{probe, &left_key_idx_, HashRowAt(*probe, left_key_idx_)};
-      auto it = build_.find(ref);
-      if (it != build_.end()) {
-        matches_ = &it->second;
-        match_idx_ = 0;
-        cur_left_ = probe;
-      }
+    if (cur_head_ >= 0) {
+      chain_ = cur_head_;
+      cur_left_ = probe;
     }
     return true;
   }
@@ -648,28 +732,75 @@ class HashJoinOp : public Operator {
   }
 
   // Next probe row pulled through the child's batch interface; nullptr at
-  // end of stream. Null-key rows never join and are skipped here.
+  // end of stream. Null-key rows never join and are skipped here; the rest
+  // carry the chain head their batch's FindBatch window resolved.
   const Row* BatchAdvance() {
     while (true) {
       ++probe_idx_;
       if (probe_idx_ >= probe_.size()) {
         if (!left_->NextBatch(&probe_)) return nullptr;
         probe_idx_ = 0;
+        ResolveBatchHeads();
       }
       const Row& row = probe_.row(probe_idx_);
-      if (!HasNullAt(row, left_key_idx_)) return &row;
+      if (HasNullAt(row, left_key_idx_)) continue;
+      cur_head_ = batch_heads_[static_cast<size_t>(probe_idx_)];
+      return &row;
     }
+  }
+
+  // One probe window over a freshly pulled batch: extract each row's key
+  // (null keys — and non-integer keys on the int path — resolve to "no
+  // match" without touching the table), then resolve all chain heads in one
+  // FindBatch pass so the lookups' cache misses overlap.
+  void ResolveBatchHeads() {
+    const int n = probe_.size();
+    batch_heads_.assign(static_cast<size_t>(n), -1);
+    win_keys_.clear();
+    key_rows_.clear();
+    for (int i = 0; i < n; ++i) {
+      const Row& row = probe_.row(i);
+      if (HasNullAt(row, left_key_idx_)) continue;
+      uint64_t key;
+      if (int_key_) {
+        int64_t ik;
+        if (!IntValueKey(row[left_key_idx_[0]], &ik)) continue;
+        key = static_cast<uint64_t>(ik);
+      } else {
+        key = HashRowAt(row, left_key_idx_);
+      }
+      win_keys_.push_back(key);
+      key_rows_.push_back(i);
+    }
+    win_heads_.resize(win_keys_.size());
+    int depth = table_.FindBatch(win_keys_.data(),
+                                 static_cast<int>(win_keys_.size()),
+                                 win_heads_.data(), ctx_->prefetch);
+    for (size_t j = 0; j < key_rows_.size(); ++j) {
+      batch_heads_[static_cast<size_t>(key_rows_[j])] = win_heads_[j];
+    }
+    NoteProbeWindow(static_cast<int>(win_keys_.size()), depth);
+  }
+
+  // Probe-counter bookkeeping, one call per FindBatch window.
+  void NoteProbeWindow(int keys, int depth) {
+    if (keys == 0) return;
+    ++ctx_->probe_windows;
+    ctx_->probe_keys += keys;
+    if (depth > ctx_->probe_in_flight) ctx_->probe_in_flight = depth;
   }
 
   // Next probe row id read in place from the fused scan's backing columns;
   // -1 at end of stream. Windows are filtered through the scan's compiled
   // kernels (plus row residual), then join-key null handling runs on the
-  // surviving selection vector — nulls never join — and, on the int64 fast
-  // path, keys are extracted into win_keys_ in the same typed pass, so the
-  // per-row resume only copies probe_key_. Surviving rows are probed
-  // without materializing; GatherProbe copies one only when it matches.
-  // Scan counters are credited per window, exactly as the scan itself
-  // would credit them.
+  // surviving selection vector — nulls never join — and keys are extracted
+  // into win_keys_ in the same typed pass (exact int64 bits on the fast
+  // path, RowKey hashes on the generic path). Each window's chain heads are
+  // then resolved in one FindBatch pass into win_heads_, so the per-row
+  // resume only copies cur_head_. Surviving rows are probed without
+  // materializing; GatherProbe copies one only when it matches. Scan
+  // counters are credited per window, exactly as the scan itself would
+  // credit them.
   int32_t FusedAdvance() {
     const ColumnStore& store = *fused_->store;
     const std::vector<int64_t>* pos = fused_->positions;
@@ -678,7 +809,7 @@ class HashJoinOp : public Operator {
     while (true) {
       if (win_idx_ < win_count_) {
         int i = win_idx_++;
-        if (int_key_) probe_key_ = win_keys_[i];
+        cur_head_ = win_heads_[i];
         return win_sel_[i];
       }
       if (fcursor_ >= limit) return -1;
@@ -705,7 +836,7 @@ class HashJoinOp : public Operator {
             double d = v[r];
             if (d != std::floor(d) || std::abs(d) >= 9.0e18) continue;
             win_sel_[kept] = r;
-            win_keys_[kept] = static_cast<int64_t>(d);
+            win_keys_[kept] = static_cast<uint64_t>(static_cast<int64_t>(d));
             ++kept;
           }
           count = kept;
@@ -715,13 +846,15 @@ class HashJoinOp : public Operator {
             int32_t r = win_sel_[i];
             if (nulls.Test(r)) continue;
             win_sel_[kept] = r;
-            win_keys_[kept] = v[r];
+            win_keys_[kept] = static_cast<uint64_t>(v[r]);
             ++kept;
           }
           count = kept;
         } else {
           const int64_t* v = kcol.ints();
-          for (int i = 0; i < count; ++i) win_keys_[i] = v[win_sel_[i]];
+          for (int i = 0; i < count; ++i) {
+            win_keys_[i] = static_cast<uint64_t>(v[win_sel_[i]]);
+          }
         }
       } else {
         for (int k : left_key_idx_) {
@@ -733,7 +866,21 @@ class HashJoinOp : public Operator {
           }
           count = kept;
         }
+        // Generic path: hash the key columns straight off the backing
+        // columns (same combination as HashRowAt on a gathered row).
+        win_keys_.resize(static_cast<size_t>(count));
+        for (int i = 0; i < count; ++i) {
+          size_t seed = 0;
+          for (int k : left_key_idx_) {
+            HashCombine(&seed, store.column(k).Get(win_sel_[i]).Hash());
+          }
+          win_keys_[i] = seed;
+        }
       }
+      win_heads_.resize(static_cast<size_t>(count));
+      int depth = table_.FindBatch(win_keys_.data(), count, win_heads_.data(),
+                                   ctx_->prefetch);
+      NoteProbeWindow(count, depth);
       fused_->stats->rows_out += count;
       stats_->rows_in += count;
       win_count_ = count;
@@ -775,46 +922,37 @@ class HashJoinOp : public Operator {
   std::vector<OutCopy> out_left_;   // output columns copied from the left
   std::vector<OutCopy> out_right_;  // output columns copied from the right
   int left_width_ = 0;
-  RowKeyMap<std::vector<Row>> build_;
-  // Batch-mode specialization for a single integer-backed join key.
+  RowKeyMap<std::vector<Row>> build_;  // row-mode build table (reference)
+  // Batch-mode probe machinery: drained build rows + the ChainTable over
+  // them. int_key_ selects exact-int64 keys (per-key chains) vs. RowKey
+  // hashes (chains filtered through ChainKeysMatch at emit).
   bool int_key_ = false;
-  std::vector<Row> build_rows_;  // build rows owned by the fast path
-  IntKeyTable table_;
-  int32_t chain_ = -1;           // next build-row index matching cur_left_
-  int64_t probe_key_ = 0;        // int64 key of the current probe row
-  // Single-entry probe cache: clustered inputs (e.g. lineitem ordered by
-  // l_orderkey) repeat the same key on consecutive probes.
-  bool has_last_ = false;
-  int64_t last_key_ = 0;
-  int32_t last_head_ = -1;
-
-  int32_t FindCached(int64_t key) {
-    if (!has_last_ || key != last_key_) {
-      has_last_ = true;
-      last_key_ = key;
-      last_head_ = table_.Find(key);
-    }
-    return last_head_;
-  }
+  std::vector<Row> build_rows_;  // build rows owned by the batch paths
+  ChainTable table_;
+  int32_t chain_ = -1;     // next build-row index chained for cur_left_
+  int32_t cur_head_ = -1;  // chain head resolved for the current probe row
   // Row-at-a-time probe state.
   Row current_left_;
   // Batched probe state.
   RowBatch probe_;
   int probe_idx_ = 0;
-  const Row* cur_left_ = nullptr;  // probe row owning `matches_`
+  std::vector<int32_t> batch_heads_;  // chain head per row of probe_
+  std::vector<int> key_rows_;         // scratch: rows with probeable keys
+  const Row* cur_left_ = nullptr;     // probe row owning `chain_`/`matches_`
   // Fused-scan probe state (filtered window over the scan's backing
   // columns; see FusedAdvance / GatherProbe).
   ScanSource* fused_ = nullptr;
   int64_t fcursor_ = 0;
   int win_count_ = 0;
   int win_idx_ = 0;
-  std::vector<int32_t> win_sel_;   // surviving row ids of the window
-  std::vector<int64_t> win_keys_;  // their int64 keys (int fast path)
-  std::vector<int> left_gather_;   // store columns GatherProbe must fill
-  Row probe_scratch_;              // gathered probe row (fused path)
-  Row scratch_row_;                // residual-eval scratch (FilterWindow)
+  std::vector<int32_t> win_sel_;    // surviving row ids of the window
+  std::vector<uint64_t> win_keys_;  // their probe keys (both batch paths)
+  std::vector<int32_t> win_heads_;  // their resolved chain heads
+  std::vector<int> left_gather_;    // store columns GatherProbe must fill
+  Row probe_scratch_;               // gathered probe row (fused path)
+  Row scratch_row_;                 // residual-eval scratch (FilterWindow)
   Row concat_;  // reusable concat scratch row (residual path)
-  const std::vector<Row>* matches_ = nullptr;
+  const std::vector<Row>* matches_ = nullptr;  // row-mode match list
   size_t match_idx_ = 0;
 };
 
@@ -1025,6 +1163,10 @@ class IndexNlJoinOp : public Operator {
     CHECK(outer_key_idx_ >= 0) << "outer join key missing";
     index_ = node_.table->GetIndex(node_.index_range.column_idx);
     CHECK(index_ != nullptr) << "index missing on " << node_.table->name();
+    // Pin the index for this operator's lifetime: a lazy rebuild (or Clear)
+    // under us would invalidate the SortedIndex pointer; the pin turns that
+    // into a loud DCHECK instead of a dangling read.
+    index_pin_ = SortedIndex::Pin(index_);
 
     Layout inner_layout(node_.input_cols);
     bound_inner_filter_ =
@@ -1075,6 +1217,7 @@ class IndexNlJoinOp : public Operator {
   std::unique_ptr<Operator> outer_;
   int outer_key_idx_ = -1;
   const SortedIndex* index_ = nullptr;
+  SortedIndex::Pin index_pin_;
   ExprPtr bound_inner_filter_;
   ExprPtr bound_residual_;
   std::vector<int> map_;

@@ -1,0 +1,108 @@
+// Implicit-B-tree search layout (DESIGN.md §11): a static, pointer-free
+// B-node blocked index over a sorted key array, built for cache-conscious
+// lower-bound searches.
+//
+// Layout. The sorted keys are the leaf level. Above them, each internal
+// level stores the maximum key of every kNodeKeys-sized block of the level
+// below, so one node is kNodeKeys consecutive entries — sized to a 64-byte
+// cache line (8 x int64/double, 16 x int32). A search touches exactly one
+// node per level (one line each) instead of the ~log2(n) scattered lines a
+// binary search dereferences, and issues an explicit prefetch for the next
+// level's node as soon as the child block is known, overlapping the DRAM
+// access with the descent bookkeeping.
+//
+// Searches take a monotone `below` predicate (true on a prefix of the
+// sorted keys) instead of a key, so callers can express the exact
+// Value::Compare semantics of mixed-type bounds (int column vs. double
+// literal, dictionary-rank thresholds for strings) without this layer
+// knowing about Values. PartitionPoint(below) returns the same index as
+// std::partition_point(keys.begin(), keys.end(), below) — the property
+// tests in tests/btree_index_test.cpp pin that equivalence.
+#ifndef SUBSHARE_STORAGE_BTREE_INDEX_H_
+#define SUBSHARE_STORAGE_BTREE_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace subshare {
+
+// Read-prefetch hint; a no-op on toolchains without the builtin.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+template <typename T>
+class ImplicitBTree {
+ public:
+  // Keys per node: one 64-byte cache line.
+  static constexpr size_t kNodeKeys = sizeof(T) >= 8 ? 8 : 16;
+
+  ImplicitBTree() = default;
+
+  // Takes ownership of `sorted_keys` (must be sorted ascending under the
+  // same order every search predicate respects) and builds the internal
+  // levels bottom-up until the top level fits in a single node.
+  void Build(std::vector<T> sorted_keys) {
+    keys_ = std::move(sorted_keys);
+    levels_.clear();
+    const std::vector<T>* below = &keys_;
+    while (below->size() > kNodeKeys) {
+      std::vector<T> level;
+      size_t blocks = (below->size() + kNodeKeys - 1) / kNodeKeys;
+      level.reserve(blocks);
+      for (size_t b = 0; b < blocks; ++b) {
+        size_t end = std::min(below->size(), (b + 1) * kNodeKeys);
+        level.push_back((*below)[end - 1]);  // max key of child block b
+      }
+      levels_.push_back(std::move(level));
+      below = &levels_.back();
+    }
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  const std::vector<T>& keys() const { return keys_; }
+  // Internal levels (diagnostics / tests): levels()[0] sits directly above
+  // the leaves, the last level is the root node.
+  const std::vector<std::vector<T>>& levels() const { return levels_; }
+
+  // First index i with !below(keys()[i]); keys().size() when `below` holds
+  // everywhere. `below` must be monotone over the sorted keys.
+  template <typename Below>
+  size_t PartitionPoint(const Below& below) const {
+    if (keys_.empty()) return 0;
+    size_t block = 0;  // node index at the current level, root downwards
+    for (size_t l = levels_.size(); l-- > 0;) {
+      const std::vector<T>& level = levels_[l];
+      const size_t begin = block * kNodeKeys;
+      const size_t end = std::min(level.size(), begin + kNodeKeys);
+      size_t j = begin;
+      while (j < end && below(level[j])) ++j;
+      // Only the root node can run off its level: a lower node's parent
+      // entry is the node's max, and the parent chose an entry !below.
+      if (j == level.size()) return keys_.size();
+      block = j;  // entry j's child block at the level beneath
+      const std::vector<T>& next = l > 0 ? levels_[l - 1] : keys_;
+      PrefetchRead(next.data() + block * kNodeKeys);
+    }
+    const size_t begin = block * kNodeKeys;
+    const size_t end = std::min(keys_.size(), begin + kNodeKeys);
+    size_t j = begin;
+    while (j < end && below(keys_[j])) ++j;
+    return j;
+  }
+
+ private:
+  std::vector<T> keys_;                 // leaf level: the sorted keys
+  std::vector<std::vector<T>> levels_;  // bottom-up internal levels
+};
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_STORAGE_BTREE_INDEX_H_

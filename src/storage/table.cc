@@ -52,32 +52,130 @@ SortedIndex::SortedIndex(const ColumnStore& store, int column)
       break;
     }
   }
+
+  // Nulls sort first, so they form a counted prefix of order_; the typed
+  // key arrays (and the implicit B-tree built over them) cover only the
+  // non-null suffix. String keys are materialized dictionary *ranks*: a
+  // value's rank among the sorted distinct values is stable across the
+  // Finalize re-code ComputeStats performs, unlike the raw code.
+  null_count_ = col.nulls().null_count();
+  const size_t non_null = order_.size() - static_cast<size_t>(null_count_);
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kBool: {
+      const int64_t* v = col.ints();
+      std::vector<int64_t> keys(non_null);
+      for (size_t i = 0; i < non_null; ++i) keys[i] = v[order_[null_count_ + i]];
+      int_tree_.Build(std::move(keys));
+      break;
+    }
+    case DataType::kDouble: {
+      const double* v = col.doubles();
+      std::vector<double> keys(non_null);
+      for (size_t i = 0; i < non_null; ++i) keys[i] = v[order_[null_count_ + i]];
+      double_tree_.Build(std::move(keys));
+      break;
+    }
+    case DataType::kString: {
+      const int32_t* codes = col.codes();
+      const int32_t* ranks = col.dict().EnsureRanks();
+      std::vector<int32_t> keys(non_null);
+      for (size_t i = 0; i < non_null; ++i) {
+        int32_t c = codes[order_[null_count_ + i]];
+        keys[i] = ranks ? ranks[c] : c;
+      }
+      rank_tree_.Build(std::move(keys));
+      break;
+    }
+  }
+}
+
+size_t SortedIndex::BelowCount(const Value& v, bool or_equal,
+                               bool binary) const {
+  const Column& col = store_->column(column_);
+  // A null bound: only null cells compare <= it, none compare < it.
+  if (v.is_null()) return or_equal ? static_cast<size_t>(null_count_) : 0;
+  if (binary) {
+    auto below = [&](int64_t pos) {
+      int c = col.CompareAt(pos, v);
+      return or_equal ? c <= 0 : c < 0;
+    };
+    return static_cast<size_t>(
+        std::partition_point(order_.begin(), order_.end(), below) -
+        order_.begin());
+  }
+  const size_t nulls = static_cast<size_t>(null_count_);  // all below v
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kBool: {
+      // Mirror Column::CompareAt: against a double bound the cell value is
+      // compared as double; against the int family, exactly.
+      if (v.type() == DataType::kDouble) {
+        const double b = v.AsDouble();
+        return nulls + (or_equal
+                            ? int_tree_.PartitionPoint([b](int64_t k) {
+                                return static_cast<double>(k) <= b;
+                              })
+                            : int_tree_.PartitionPoint([b](int64_t k) {
+                                return static_cast<double>(k) < b;
+                              }));
+      }
+      const int64_t b = v.AsInt64();
+      return nulls +
+             (or_equal
+                  ? int_tree_.PartitionPoint([b](int64_t k) { return k <= b; })
+                  : int_tree_.PartitionPoint([b](int64_t k) { return k < b; }));
+    }
+    case DataType::kDouble: {
+      const double b = v.AsDouble();
+      return nulls +
+             (or_equal
+                  ? double_tree_.PartitionPoint([b](double k) { return k <= b; })
+                  : double_tree_.PartitionPoint([b](double k) { return k < b; }));
+    }
+    case DataType::kString: {
+      // cell < s  <=>  rank(cell) < LowerBoundRank(s);
+      // cell <= s <=>  rank(cell) < UpperBoundRank(s).
+      const std::string& s = v.AsString();
+      const int32_t t = or_equal ? col.dict().UpperBoundRank(s)
+                                 : col.dict().LowerBoundRank(s);
+      return nulls +
+             rank_tree_.PartitionPoint([t](int32_t r) { return r < t; });
+    }
+  }
+  return nulls;
+}
+
+std::pair<size_t, size_t> SortedIndex::BoundsFor(const Value* lo,
+                                                 bool lo_inclusive,
+                                                 const Value* hi,
+                                                 bool hi_inclusive,
+                                                 bool binary) const {
+  size_t begin =
+      lo != nullptr ? BelowCount(*lo, /*or_equal=*/!lo_inclusive, binary) : 0;
+  size_t end = hi != nullptr ? BelowCount(*hi, /*or_equal=*/hi_inclusive, binary)
+                             : order_.size();
+  if (end < begin) end = begin;
+  return {begin, end};
 }
 
 std::vector<int64_t> SortedIndex::RangeLookup(const Value* lo,
                                               bool lo_inclusive,
                                               const Value* hi,
                                               bool hi_inclusive) const {
-  const Column& col = store_->column(column_);
-  size_t begin = 0;
-  if (lo != nullptr) {
-    auto below = [&](int64_t pos) {
-      return lo_inclusive ? col.CompareAt(pos, *lo) < 0
-                          : col.CompareAt(pos, *lo) <= 0;
-    };
-    auto it = std::partition_point(order_.begin(), order_.end(), below);
-    begin = static_cast<size_t>(it - order_.begin());
-  }
-  size_t end = order_.size();
-  if (hi != nullptr) {
-    auto not_past = [&](int64_t pos) {
-      return hi_inclusive ? col.CompareAt(pos, *hi) <= 0
-                          : col.CompareAt(pos, *hi) < 0;
-    };
-    auto it = std::partition_point(order_.begin(), order_.end(), not_past);
-    end = static_cast<size_t>(it - order_.begin());
-  }
-  if (end < begin) end = begin;
+  auto [begin, end] =
+      BoundsFor(lo, lo_inclusive, hi, hi_inclusive, /*binary=*/false);
+  return std::vector<int64_t>(order_.begin() + begin, order_.begin() + end);
+}
+
+std::vector<int64_t> SortedIndex::RangeLookupBinary(const Value* lo,
+                                                    bool lo_inclusive,
+                                                    const Value* hi,
+                                                    bool hi_inclusive) const {
+  auto [begin, end] =
+      BoundsFor(lo, lo_inclusive, hi, hi_inclusive, /*binary=*/true);
   return std::vector<int64_t>(order_.begin() + begin, order_.begin() + end);
 }
 
@@ -132,6 +230,9 @@ void Table::AppendRows(const std::vector<Row>& rows) {
 }
 
 void Table::Clear() {
+  for (auto& [col, index] : indexes_) {
+    DCHECK(index->pins() == 0);  // no consumer may hold spans across Clear
+  }
   data_.Clear();
   indexes_.clear();
   indexes_stale_ = false;
@@ -276,12 +377,18 @@ double ColumnStats::FractionAtMost(double v) const {
 
 void Table::CreateIndex(int column) {
   CHECK(column >= 0 && column < schema_.num_columns());
+  auto it = indexes_.find(column);
+  // Rebuilding over a pinned index would dangle the consumer's spans.
+  if (it != indexes_.end()) DCHECK(it->second->pins() == 0);
   indexes_[column] = std::make_unique<SortedIndex>(data_, column);
 }
 
 const SortedIndex* Table::GetIndex(int column) const {
   if (indexes_stale_) {
     for (auto& [col, index] : indexes_) {
+      // Append-triggered lazy rebuild under a live consumer: the consumer's
+      // Pin makes this fail loudly instead of silently invalidating spans.
+      DCHECK(index->pins() == 0);
       index = std::make_unique<SortedIndex>(data_, col);
     }
     indexes_stale_ = false;

@@ -5,8 +5,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "storage/btree_index.h"
 #include "storage/column_store.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -41,21 +43,84 @@ struct TableStats {
 // A sorted secondary index on one column: row positions ordered by value.
 // Supports range lookups [lo, hi] with open/closed bounds. Holds a pointer
 // to the store it was built over; the owning Table rebuilds it on mutation.
+//
+// Searches run on an implicit-B-tree layout (DESIGN.md §11) over typed key
+// arrays extracted at build time — int64 values for the int family, doubles,
+// and materialized dictionary *ranks* for strings (ranks, unlike raw codes,
+// survive a dictionary Finalize re-code, and bound strings convert to rank
+// thresholds via StringDictionary::LowerBoundRank/UpperBoundRank). Nulls
+// sort first (Value::Compare) and are kept as a counted prefix outside the
+// key arrays. RangeLookupBinary is the plain binary-search reference
+// implementation, kept for A/B benchmarks and the property tests.
 class SortedIndex {
  public:
   SortedIndex(const ColumnStore& store, int column);
 
   int column() const { return column_; }
+  int64_t size() const { return static_cast<int64_t>(order_.size()); }
 
   // Row positions whose indexed value lies in the given range. Null bounds
-  // mean unbounded on that side.
+  // mean unbounded on that side. Implicit-B-tree search.
   std::vector<int64_t> RangeLookup(const Value* lo, bool lo_inclusive,
                                    const Value* hi, bool hi_inclusive) const;
 
+  // Reference implementation: std::partition_point over the sorted position
+  // order, one CompareAt per probe (the pre-B-tree code path).
+  std::vector<int64_t> RangeLookupBinary(const Value* lo, bool lo_inclusive,
+                                         const Value* hi,
+                                         bool hi_inclusive) const;
+
+  // RAII pin for consumers that hold this index (or spans derived from it)
+  // across calls — e.g. the index nested-loop join keeps the SortedIndex*
+  // for its whole lifetime. Rebuilds DCHECK that no pin is outstanding, so
+  // an append-triggered lazy rebuild under a live consumer fails loudly
+  // instead of dangling.
+  class Pin {
+   public:
+    Pin() = default;
+    explicit Pin(const SortedIndex* index) : index_(index) {
+      if (index_ != nullptr) ++index_->pins_;
+    }
+    Pin(Pin&& other) noexcept : index_(std::exchange(other.index_, nullptr)) {}
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        index_ = std::exchange(other.index_, nullptr);
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+    void Release() {
+      if (index_ != nullptr) --index_->pins_;
+      index_ = nullptr;
+    }
+
+   private:
+    const SortedIndex* index_ = nullptr;
+  };
+  int pins() const { return pins_; }
+
  private:
+  // Count of cells `c` with c < v (or c <= v when `or_equal`), i.e. the
+  // partition point of that predicate in the sorted order. `binary` selects
+  // the reference search.
+  size_t BelowCount(const Value& v, bool or_equal, bool binary) const;
+  std::pair<size_t, size_t> BoundsFor(const Value* lo, bool lo_inclusive,
+                                      const Value* hi, bool hi_inclusive,
+                                      bool binary) const;
+
   const ColumnStore* store_;
   int column_;
   std::vector<int64_t> order_;  // row positions sorted by column value
+  int64_t null_count_ = 0;      // nulls occupy order_[0, null_count_)
+  // Implicit-B-tree over the non-null keys in sorted order; exactly one of
+  // these is populated, matching the column's physical type.
+  ImplicitBTree<int64_t> int_tree_;
+  ImplicitBTree<double> double_tree_;
+  ImplicitBTree<int32_t> rank_tree_;  // string: dictionary-rank keys
+  mutable int pins_ = 0;
 };
 
 class Table;

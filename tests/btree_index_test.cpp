@@ -1,0 +1,275 @@
+// Property tests for the implicit-B-tree SortedIndex layout (DESIGN.md §11):
+// B-tree searches must agree exactly with the plain binary-search reference
+// (RangeLookupBinary, the pre-B-tree code path) across sizes 0–10k,
+// duplicates, null mixes, all-null columns, unsorted string dictionaries,
+// and mixed-type bounds — plus the rebuild-after-append and pin-audit
+// regressions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/btree_index.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace subshare {
+namespace {
+
+// ------------------------------------------------ ImplicitBTree directly ---
+
+class ImplicitBTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicitBTreeProperty, PartitionPointMatchesStd) {
+  const int n = GetParam();
+  Rng rng(0x9000 + static_cast<uint64_t>(n));
+  // Duplicate-heavy keys: values drawn from a range ~n/3 wide.
+  std::vector<int64_t> keys(static_cast<size_t>(n));
+  const int64_t span = std::max<int64_t>(1, n / 3);
+  for (int64_t& k : keys) k = static_cast<int64_t>(rng.Next() % span) * 7;
+  std::sort(keys.begin(), keys.end());
+
+  ImplicitBTree<int64_t> tree;
+  tree.Build(keys);
+  ASSERT_EQ(tree.size(), keys.size());
+
+  auto check = [&](int64_t b) {
+    auto lt = [b](int64_t k) { return k < b; };
+    auto le = [b](int64_t k) { return k <= b; };
+    size_t want_lt = static_cast<size_t>(
+        std::partition_point(keys.begin(), keys.end(), lt) - keys.begin());
+    size_t want_le = static_cast<size_t>(
+        std::partition_point(keys.begin(), keys.end(), le) - keys.begin());
+    EXPECT_EQ(tree.PartitionPoint(lt), want_lt) << "b=" << b;
+    EXPECT_EQ(tree.PartitionPoint(le), want_le) << "b=" << b;
+  };
+  // Every present key plus misses below, between, and above the range.
+  check(-1);
+  check(span * 7 + 1);
+  for (int i = 0; i < 200; ++i) {
+    check(static_cast<int64_t>(rng.Next() % (static_cast<uint64_t>(span) * 8)));
+  }
+  for (size_t i = 0; i < keys.size(); i += std::max<size_t>(1, keys.size() / 64)) {
+    check(keys[i]);
+  }
+}
+
+TEST_P(ImplicitBTreeProperty, NarrowKeysUseWiderNodes) {
+  // int32 nodes pack 16 keys per cache line (8 for int64).
+  static_assert(ImplicitBTree<int32_t>::kNodeKeys == 16);
+  static_assert(ImplicitBTree<int64_t>::kNodeKeys == 8);
+  static_assert(ImplicitBTree<double>::kNodeKeys == 8);
+  const int n = GetParam();
+  Rng rng(0x3200 + static_cast<uint64_t>(n));
+  std::vector<int32_t> keys(static_cast<size_t>(n));
+  for (int32_t& k : keys) k = static_cast<int32_t>(rng.Next() % 1000);
+  std::sort(keys.begin(), keys.end());
+  ImplicitBTree<int32_t> tree;
+  tree.Build(keys);
+  // Every internal level entry is the max of its child block.
+  if (!tree.levels().empty()) {
+    const std::vector<int32_t>& first = tree.levels().front();
+    for (size_t b = 0; b < first.size(); ++b) {
+      size_t end = std::min(keys.size(), (b + 1) * tree.kNodeKeys);
+      EXPECT_EQ(first[b], keys[end - 1]);
+    }
+  }
+  for (int b = -1; b <= 1001; b += 13) {
+    auto lt = [b](int32_t k) { return k < b; };
+    EXPECT_EQ(tree.PartitionPoint(lt),
+              static_cast<size_t>(std::partition_point(keys.begin(),
+                                                       keys.end(), lt) -
+                                  keys.begin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ImplicitBTreeProperty,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 500,
+                                           4096, 10000));
+
+// ------------------------------------------- SortedIndex range lookups ---
+
+// One generated table per (size, flavor): the B-tree RangeLookup must return
+// exactly the positions the binary-search reference returns, for random
+// open/closed/unbounded and cross-type bounds.
+struct SweepCase {
+  int size;
+  // 0: int64 + nulls, 1: double + nulls (integral and fractional values),
+  // 2: strings (unsorted dictionary) + nulls, 3: all-null int column.
+  int flavor;
+};
+
+class SortedIndexSweep : public ::testing::TestWithParam<SweepCase> {};
+
+Value RandomBound(Rng* rng, int flavor) {
+  switch (flavor) {
+    case 1:
+      // Mix integral and fractional double bounds.
+      return rng->Next() % 2 == 0
+                 ? Value::Double(static_cast<double>(
+                       static_cast<int64_t>(rng->Next() % 64)))
+                 : Value::Double(static_cast<double>(rng->Next() % 640) / 10.0);
+    case 2:
+      return Value::String(std::string(1, static_cast<char>(
+                               'a' + rng->Next() % 26)) +
+                           std::to_string(rng->Next() % 8));
+    default:
+      // Cross-type on purpose: int columns also get double bounds
+      // (Value::Compare compares them as doubles).
+      return rng->Next() % 3 == 0
+                 ? Value::Double(static_cast<double>(rng->Next() % 640) / 10.0)
+                 : Value::Int64(static_cast<int64_t>(rng->Next() % 64));
+  }
+}
+
+TEST_P(SortedIndexSweep, BTreeMatchesBinarySearch) {
+  const SweepCase c = GetParam();
+  Rng rng(0xbee + static_cast<uint64_t>(c.size * 7 + c.flavor));
+  Schema schema;
+  DataType type = c.flavor == 1
+                      ? DataType::kDouble
+                      : (c.flavor == 2 ? DataType::kString : DataType::kInt64);
+  schema.AddColumn("k", type);
+  Table t(0, "t", schema);
+  for (int i = 0; i < c.size; ++i) {
+    if (c.flavor == 3 || rng.Next() % 8 == 0) {
+      t.AppendRow({Value::Null(type)});
+      continue;
+    }
+    switch (c.flavor) {
+      case 1:
+        t.AppendRow({RandomBound(&rng, 1)});
+        break;
+      case 2:
+        // Interning order is random, so the dictionary stays unsorted and
+        // the index must go through materialized ranks.
+        t.AppendRow({RandomBound(&rng, 2)});
+        break;
+      default:
+        t.AppendRow({Value::Int64(static_cast<int64_t>(rng.Next() % 64))});
+        break;
+    }
+  }
+  t.CreateIndex(0);
+  const SortedIndex* index = t.GetIndex(0);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), t.row_count());
+
+  for (int probe = 0; probe < 60; ++probe) {
+    bool has_lo = rng.Next() % 4 != 0;
+    bool has_hi = rng.Next() % 4 != 0;
+    bool lo_inc = rng.Next() % 2 == 0;
+    bool hi_inc = rng.Next() % 2 == 0;
+    Value lo = RandomBound(&rng, c.flavor == 3 ? 0 : c.flavor);
+    Value hi = RandomBound(&rng, c.flavor == 3 ? 0 : c.flavor);
+    std::vector<int64_t> got = index->RangeLookup(
+        has_lo ? &lo : nullptr, lo_inc, has_hi ? &hi : nullptr, hi_inc);
+    std::vector<int64_t> want = index->RangeLookupBinary(
+        has_lo ? &lo : nullptr, lo_inc, has_hi ? &hi : nullptr, hi_inc);
+    ASSERT_EQ(got, want) << "size=" << c.size << " flavor=" << c.flavor
+                         << " lo=" << (has_lo ? lo.ToString() : "-")
+                         << (lo_inc ? " incl" : " excl")
+                         << " hi=" << (has_hi ? hi.ToString() : "-")
+                         << (hi_inc ? " incl" : " excl");
+  }
+  // Unbounded lookup returns every row (nulls first).
+  EXPECT_EQ(static_cast<int64_t>(
+                index->RangeLookup(nullptr, true, nullptr, true).size()),
+            t.row_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortedIndexSweep,
+    ::testing::Values(SweepCase{0, 0}, SweepCase{1, 0}, SweepCase{7, 1},
+                      SweepCase{64, 0}, SweepCase{65, 2}, SweepCase{200, 3},
+                      SweepCase{513, 1}, SweepCase{1000, 2},
+                      SweepCase{4096, 0}, SweepCase{10000, 0},
+                      SweepCase{10000, 1}, SweepCase{10000, 2}));
+
+// Ranks are stable across the dictionary re-code ComputeStats performs, so
+// an index built over an unsorted dictionary keeps answering correctly
+// after Finalize (no version bump happens, so no rebuild either).
+TEST(SortedIndexTest, SurvivesDictionaryFinalize) {
+  Schema schema;
+  schema.AddColumn("s", DataType::kString);
+  Table t(0, "t", schema);
+  for (const char* s : {"pear", "apple", "quince", "banana", "apple", "fig"}) {
+    t.AppendRow({Value::String(s)});
+  }
+  t.CreateIndex(0);
+  const SortedIndex* index = t.GetIndex(0);
+  Value lo = Value::String("apple"), hi = Value::String("pear");
+  std::vector<int64_t> before = index->RangeLookup(&lo, true, &hi, true);
+  t.ComputeStats();  // re-codes the dictionary into value order
+  EXPECT_EQ(t.GetIndex(0), index);  // no mutation: no rebuild
+  EXPECT_EQ(index->RangeLookup(&lo, true, &hi, true), before);
+  EXPECT_EQ(index->RangeLookup(&lo, true, &hi, true),
+            index->RangeLookupBinary(&lo, true, &hi, true));
+}
+
+// Appending between lookups invalidates the index; the next GetIndex
+// rebuilds it lazily and lookups see the new rows (versioned-invalidation
+// interaction: the append bumped version(), caches must not serve the old
+// spool, and the index must not serve the old order).
+TEST(SortedIndexTest, RebuildAfterAppendBetweenLookups) {
+  Schema schema;
+  schema.AddColumn("k", DataType::kInt64);
+  Table t(0, "t", schema);
+  for (int64_t k : {5, 2, 9}) t.AppendRow({Value::Int64(k)});
+  t.CreateIndex(0);
+  const uint64_t v0 = t.version();
+  Value lo = Value::Int64(2), hi = Value::Int64(9);
+  EXPECT_EQ(t.GetIndex(0)->RangeLookup(&lo, true, &hi, true).size(), 3u);
+
+  t.AppendRow({Value::Int64(7)});
+  t.AppendRow({Value::Null(DataType::kInt64)});
+  EXPECT_GT(t.version(), v0);  // mutation bumped the version
+  const SortedIndex* rebuilt = t.GetIndex(0);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->size(), 5);
+  std::vector<int64_t> got = rebuilt->RangeLookup(&lo, true, &hi, true);
+  EXPECT_EQ(got, rebuilt->RangeLookupBinary(&lo, true, &hi, true));
+  EXPECT_EQ(got.size(), 4u);  // 2, 5, 7, 9 — the new row is visible
+  // A second append-and-lookup round for good measure.
+  t.AppendRow({Value::Int64(3)});
+  EXPECT_EQ(t.GetIndex(0)->RangeLookup(&lo, true, &hi, true).size(), 5u);
+}
+
+TEST(SortedIndexTest, PinCountsConsumers) {
+  Schema schema;
+  schema.AddColumn("k", DataType::kInt64);
+  Table t(0, "t", schema);
+  t.AppendRow({Value::Int64(1)});
+  t.CreateIndex(0);
+  const SortedIndex* index = t.GetIndex(0);
+  EXPECT_EQ(index->pins(), 0);
+  {
+    SortedIndex::Pin pin(index);
+    EXPECT_EQ(index->pins(), 1);
+    SortedIndex::Pin moved(std::move(pin));
+    EXPECT_EQ(index->pins(), 1);  // move transfers, not duplicates
+    SortedIndex::Pin assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(index->pins(), 1);
+  }
+  EXPECT_EQ(index->pins(), 0);
+}
+
+#ifndef NDEBUG
+// DCHECK builds only: a lazy rebuild (or Clear) under a live pin must fail
+// loudly instead of dangling the consumer's index pointer.
+TEST(SortedIndexDeathTest, RebuildUnderPinAborts) {
+  Schema schema;
+  schema.AddColumn("k", DataType::kInt64);
+  Table t(0, "t", schema);
+  t.AppendRow({Value::Int64(1)});
+  t.CreateIndex(0);
+  SortedIndex::Pin pin(t.GetIndex(0));
+  t.AppendRow({Value::Int64(2)});  // marks indexes stale
+  EXPECT_DEATH(t.GetIndex(0), "pins");
+}
+#endif
+
+}  // namespace
+}  // namespace subshare

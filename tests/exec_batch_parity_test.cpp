@@ -174,10 +174,15 @@ std::vector<std::string> RunBothModes(const PhysicalNode& node) {
   ExecContext row_ctx;
   row_ctx.mode = ExecMode::kRowAtATime;
   std::vector<std::string> row = Canon(RunToVector(node, &row_ctx));
-  ExecContext batch_ctx;
-  batch_ctx.mode = ExecMode::kBatch;
-  std::vector<std::string> batch = Canon(RunToVector(node, &batch_ctx));
-  EXPECT_EQ(row, batch);
+  // Batch mode must agree in both probe flavors: AMAC-interleaved
+  // (prefetch on) and the straight-line reference loops (prefetch off).
+  for (bool prefetch : {true, false}) {
+    ExecContext batch_ctx;
+    batch_ctx.mode = ExecMode::kBatch;
+    batch_ctx.prefetch = prefetch;
+    std::vector<std::string> batch = Canon(RunToVector(node, &batch_ctx));
+    EXPECT_EQ(row, batch) << "prefetch=" << prefetch;
+  }
   return row;
 }
 
@@ -328,6 +333,56 @@ TEST(ExecBatchParityTest, RowPullInsideBatchModeTree) {
   nlj->children = {std::move(hash), Scan(outer, tc)};
   nlj->output = Layout({lc[1], rc[1], tc[1]});
   RunBothModes(*nlj);
+}
+
+// The CLAUDE.md batch/row-pull gotcha, aimed at the AMAC probe: a batch-mode
+// NL-join parent (no NextBatch override) pulls the hash join row by row
+// while the join's bindings target the windowed FindBatch machinery. The
+// composite two-column key forces the generic path, whose ChainTable chains
+// are keyed by hash and filtered at emit — both prefetch flavors must agree
+// with row mode (RunBothModes runs batch with prefetch on and off).
+TEST(ExecBatchParityTest, RowPullOverPrefetchingCompositeKeyJoin) {
+  Rng rng(67);
+  Catalog catalog;
+  QueryContext ctx(&catalog);
+  Schema wide;
+  wide.AddColumn("k1", DataType::kInt64);
+  wide.AddColumn("k2", DataType::kInt64);
+  wide.AddColumn("v", DataType::kInt64);
+  Table* left = *catalog.CreateTable("l", wide);
+  Table* right = *catalog.CreateTable("r", wide);
+  Table* outer = *catalog.CreateTable("t", KV());
+  for (int i = 0; i < 90; ++i) {
+    Value lk = rng.Uniform(0, 9) == 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(rng.Uniform(0, 4));
+    left->AppendRow({lk, Value::Int64(rng.Uniform(0, 4)),
+                     Value::Int64(rng.Uniform(0, 6))});
+    right->AppendRow({Value::Int64(rng.Uniform(0, 4)),
+                      Value::Int64(rng.Uniform(0, 4)),
+                      Value::Int64(rng.Uniform(0, 6))});
+  }
+  for (int i = 0; i < 4; ++i) {
+    outer->AppendRow({Value::Int64(i), Value::Int64(i)});
+  }
+  int lrel = ctx.AddRelation(*left, "l");
+  int rrel = ctx.AddRelation(*right, "r");
+  int trel = ctx.AddRelation(*outer, "t");
+  auto lc = ctx.columns().RelationColumns(lrel);
+  auto rc = ctx.columns().RelationColumns(rrel);
+  auto tc = ctx.columns().RelationColumns(trel);
+
+  auto hash = MakePhysical(PhysOpKind::kHashJoin);
+  hash->join_keys = {{lc[0], rc[0]}, {lc[1], rc[1]}};  // generic path
+  hash->children = {Scan(left, lc), Scan(right, rc)};
+  hash->output = Layout({lc[2], rc[2]});
+
+  auto nlj = MakePhysical(PhysOpKind::kNlJoin);
+  nlj->nl_pred = Expr::Compare(CmpOp::kEq,
+                               Expr::Column(lc[2], DataType::kInt64),
+                               Expr::Column(tc[0], DataType::kInt64));
+  nlj->children = {std::move(hash), Scan(outer, tc)};
+  nlj->output = Layout({lc[2], rc[2], tc[1]});
+  EXPECT_GT(RunBothModes(*nlj).size(), 0u);
 }
 
 // Merge join drains, null-filters, and sorts both sides itself; null keys
