@@ -1,12 +1,18 @@
 // Standalone differential fuzzer for long runs.
 //
 //   fuzz_main [--seed=N] [--batches=N] [--sf=X] [--stop-on-first] [--cache]
+//             [--strategy=<all|exhaustive|greedy|approximate>]
 //
 // Generates `batches` random query batches (testing/query_gen.h), one
 // generator per seed in [seed, seed+batches), and cross-checks each under
 // row/batch × naive/CSE (testing/differential.h). A failing batch is shrunk
 // and reported with its seed, so `--seed=<that seed> --batches=1` reproduces
 // it exactly. Exits nonzero when any divergence was found.
+//
+// --strategy (or SUBSHARE_FUZZ_STRATEGY) selects the CSE enumeration
+// strategy; `all` cross-checks exhaustive, greedy, and approximate plans
+// against each other and the naive reference in one run. Cache mode
+// supports the single-strategy values only.
 //
 // With --cache (or SUBSHARE_FUZZ_CACHE=1), runs the cache-mode checker
 // instead (testing/cache_differential.h): each batch is replayed through
@@ -36,14 +42,17 @@ using subshare::testing::QueryGenerator;
 
 namespace {
 
-int RunCacheMode(uint64_t seed, int batches, double sf) {
+int RunCacheMode(uint64_t seed, int batches, double sf,
+                 subshare::EnumerationStrategy strategy) {
   Database db;
   CHECK(db.LoadTpch(sf).ok());
   std::printf("fuzz (cache mode): sf=%g seeds=[%llu, %llu)\n", sf,
               static_cast<unsigned long long>(seed),
               static_cast<unsigned long long>(seed + batches));
 
-  CacheDifferentialTester tester(&db, seed);
+  subshare::testing::CacheDiffOptions cache_options;
+  cache_options.cse.strategy = strategy;
+  CacheDifferentialTester tester(&db, seed, cache_options);
   int divergences = 0;
   for (int i = 0; i < batches; ++i) {
     uint64_t batch_seed = seed + static_cast<uint64_t>(i);
@@ -82,9 +91,13 @@ int main(int argc, char** argv) {
   double sf = 0.002;
   bool stop_on_first = false;
   bool cache_mode = false;
+  std::string strategy_name = "exhaustive";
   if (const char* env = std::getenv("SUBSHARE_SF")) sf = std::atof(env);
   if (const char* env = std::getenv("SUBSHARE_FUZZ_CACHE")) {
     cache_mode = std::atoi(env) != 0;
+  }
+  if (const char* env = std::getenv("SUBSHARE_FUZZ_STRATEGY")) {
+    strategy_name = env;
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -93,6 +106,8 @@ int main(int argc, char** argv) {
       batches = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--sf=", 5) == 0) {
       sf = std::atof(argv[i] + 5);
+    } else if (std::strncmp(argv[i], "--strategy=", 11) == 0) {
+      strategy_name = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--stop-on-first") == 0) {
       stop_on_first = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
@@ -102,17 +117,39 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (cache_mode) return RunCacheMode(seed, batches, sf);
+
+  std::vector<subshare::EnumerationStrategy> strategies;
+  if (strategy_name == "all") {
+    strategies = subshare::testing::AllEnumerationStrategies();
+  } else if (auto parsed = subshare::ParseEnumerationStrategy(strategy_name);
+             parsed.has_value()) {
+    strategies = {*parsed};
+  } else {
+    std::fprintf(stderr, "unknown strategy: %s\n", strategy_name.c_str());
+    return 2;
+  }
+  if (cache_mode) {
+    if (strategies.size() != 1) {
+      std::fprintf(stderr,
+                   "cache mode checks one strategy per run; pick one of "
+                   "exhaustive|greedy|approximate\n");
+      return 2;
+    }
+    return RunCacheMode(seed, batches, sf, strategies[0]);
+  }
 
   Catalog catalog;
   subshare::tpch::TpchOptions tpch;
   tpch.scale_factor = sf;
   CHECK(subshare::tpch::LoadTpch(&catalog, tpch).ok());
-  std::printf("fuzz: sf=%g seeds=[%llu, %llu)\n", sf,
+  std::printf("fuzz: sf=%g seeds=[%llu, %llu) strategy=%s\n", sf,
               static_cast<unsigned long long>(seed),
-              static_cast<unsigned long long>(seed + batches));
+              static_cast<unsigned long long>(seed + batches),
+              strategy_name.c_str());
 
-  DifferentialTester tester(&catalog);
+  subshare::testing::DiffOptions diff_options;
+  diff_options.strategies = strategies;
+  DifferentialTester tester(&catalog, diff_options);
   int divergences = 0;
   for (int i = 0; i < batches; ++i) {
     uint64_t batch_seed = seed + static_cast<uint64_t>(i);

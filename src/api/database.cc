@@ -54,7 +54,10 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
   cache::BatchFingerprint fp;
   if (use_plan_cache) {
     fp = cache::FingerprintBatch(asts);
-    fp.text += StrFormat(";;cse=%d", options.cse.enable_cse ? 1 : 0);
+    // The enumeration strategy changes which CSE set (and thus which plan)
+    // is chosen, so plans cached under one strategy must not serve another.
+    fp.text += StrFormat(";;cse=%d;;strat=%s", options.cse.enable_cse ? 1 : 0,
+                         EnumerationStrategyName(options.cse.strategy));
   }
 
   ExecutablePlan plan;

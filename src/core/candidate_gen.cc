@@ -257,6 +257,12 @@ double CandidateGenerator::ConsumerUpperBound(GroupId g) const {
   return c >= 0 ? c : 0;
 }
 
+double CandidateGenerator::NetBenefit(const CseSpec& spec) const {
+  double sum = 0;
+  for (GroupId g : spec.consumers) sum += ConsumerLowerBound(g);
+  return sum - SharedCost(spec);
+}
+
 double CandidateGenerator::SharedCost(const CseSpec& spec) const {
   // C_E (approximated from below by the highest consumer lower bound, as in
   // §4.3.3) + C_W + N * C_R.

@@ -81,6 +81,12 @@ class CandidateGenerator {
   CseSpec BuildSpec(const std::vector<SpjgNormalForm>& consumers,
                     const std::vector<int>& members);
 
+  // §4.3.3-style net benefit estimate over the consumers' normal-phase
+  // lower bounds:  Σ_i C_i^lower − (max_i C_i^lower + C_W + N·C_R).
+  // Ranks candidates for the enumeration cap and seeds the greedy /
+  // approximate strategies' first-round ordering (core/cse_optimizer).
+  double NetBenefit(const CseSpec& spec) const;
+
  private:
   // Estimated rows/width and spool costs for a spec (fills the fields).
   void CostSpec(CseSpec* spec);

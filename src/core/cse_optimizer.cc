@@ -1,6 +1,8 @@
 #include "core/cse_optimizer.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <queue>
 
 #include "cache/result_cache.h"
 #include "core/cse_key.h"
@@ -44,6 +46,39 @@ bool Contained(const Memo& memo, const CseSpec& c, const CseSpec& p) {
 
 }  // namespace
 
+const char* EnumerationStrategyName(EnumerationStrategy strategy) {
+  switch (strategy) {
+    case EnumerationStrategy::kExhaustive:
+      return "exhaustive";
+    case EnumerationStrategy::kGreedy:
+      return "greedy";
+    case EnumerationStrategy::kApproximate:
+      return "approximate";
+  }
+  return "exhaustive";
+}
+
+std::optional<EnumerationStrategy> ParseEnumerationStrategy(
+    const std::string& name) {
+  if (name == "exhaustive") return EnumerationStrategy::kExhaustive;
+  if (name == "greedy") return EnumerationStrategy::kGreedy;
+  if (name == "approximate") return EnumerationStrategy::kApproximate;
+  return std::nullopt;
+}
+
+EnumerationStrategy DefaultEnumerationStrategy() {
+  static const EnumerationStrategy kDefault = [] {
+    const char* env = std::getenv("SUBSHARE_ENUM_STRATEGY");
+    if (env != nullptr) {
+      if (auto parsed = ParseEnumerationStrategy(env); parsed.has_value()) {
+        return *parsed;
+      }
+    }
+    return EnumerationStrategy::kExhaustive;
+  }();
+  return kDefault;
+}
+
 CseQueryOptimizer::CseQueryOptimizer(QueryContext* ctx,
                                      CseOptimizerOptions options)
     : ctx_(ctx),
@@ -58,10 +93,205 @@ bool CseQueryOptimizer::Competing(const CseCandidateInfo& a,
          IsCreationDescendant(memo, b.lca_group, a.lca_group);
 }
 
+uint64_t CseQueryOptimizer::UsedMask(const PhysicalNode& plan,
+                                     uint64_t enabled_mask) const {
+  uint64_t used = 0;
+  for (const auto& [id, count] : plan.cse_uses) {
+    // Recycled candidates pay no initial cost, so even a single reader
+    // keeps them in the used set (§5.2 discard does not apply).
+    int min_uses = optimizer_->candidates()[id].recycled ? 1 : 2;
+    if (count >= min_uses && (enabled_mask >> id & 1)) used |= (1ULL << id);
+  }
+  return used;
+}
+
 PhysicalNodePtr CseQueryOptimizer::Enumerate(GroupId root, int n,
                                              PhysicalNodePtr normal_plan,
                                              Bitset64* best_set,
                                              CseMetrics* metrics) {
+  switch (options_.strategy) {
+    case EnumerationStrategy::kExhaustive:
+      return EnumerateExhaustive(root, n, std::move(normal_plan), best_set,
+                                 metrics);
+    case EnumerationStrategy::kGreedy:
+      return EnumerateGreedy(root, n, std::move(normal_plan), best_set,
+                             metrics, /*lazy=*/false);
+    case EnumerationStrategy::kApproximate:
+      return EnumerateGreedy(root, n, std::move(normal_plan), best_set,
+                             metrics, /*lazy=*/true);
+  }
+  return normal_plan;
+}
+
+// The greedy strategies grow the enabled set one candidate per round,
+// always keeping the cheapest plan seen. Cost is monotone non-increasing
+// in the enabled set (enabling a candidate only adds plan alternatives),
+// so the final cost never exceeds the normal (no-sharing) cost. In lazy
+// mode each candidate carries an upper bound on its incremental benefit —
+// the benefit measured the last time it was costed, which only shrinks as
+// the set grows — and the queue's max is re-costed and accepted outright
+// when its fresh benefit still dominates every other bound.
+PhysicalNodePtr CseQueryOptimizer::EnumerateGreedy(GroupId root, int n,
+                                                   PhysicalNodePtr normal_plan,
+                                                   Bitset64* best_set,
+                                                   CseMetrics* metrics,
+                                                   bool lazy) {
+  PhysicalNodePtr best = normal_plan;
+  *best_set = Bitset64();
+  OptTrace* trace = metrics != nullptr ? &metrics->trace : nullptr;
+  uint64_t current = 0;
+  uint64_t current_used = 0;
+  int opts = 0;
+  int round = 0;
+
+  auto try_candidate = [&](int c, double* delta_out,
+                           PhysicalNodePtr* plan_out,
+                           uint64_t* used_out) -> bool {
+    // Costs current ∪ {c}; false when the cap is hit (not when infeasible).
+    if (opts >= options_.max_optimizations) {
+      if (trace != nullptr) trace->enumeration_capped = true;
+      return false;
+    }
+    ++opts;
+    uint64_t s = current | (1ULL << c);
+    PhysicalNodePtr plan = optimizer_->BestPlan(root, Bitset64(s));
+    std::string note = StrFormat("%s round %d: +#%d",
+                                 lazy ? "approximate" : "greedy", round, c);
+    if (plan == nullptr) {
+      if (trace != nullptr) {
+        trace->enumeration.push_back({s, -1, 0, false, std::move(note)});
+      }
+      *delta_out = -1;
+      *plan_out = nullptr;
+      return true;
+    }
+    *used_out = UsedMask(*plan, s);
+    *delta_out = best->est_cost - plan->est_cost;
+    if (trace != nullptr) {
+      trace->enumeration.push_back(
+          {s, plan->est_cost, *used_out, false,
+           note + StrFormat(" (benefit %.2f)", *delta_out)});
+    }
+    *plan_out = std::move(plan);
+    return true;
+  };
+  auto accept = [&](int c, PhysicalNodePtr plan, uint64_t used,
+                    size_t step_index) {
+    current |= (1ULL << c);
+    best = std::move(plan);
+    current_used = used;
+    if (trace != nullptr && step_index < trace->enumeration.size()) {
+      OptTrace::EnumStep& step = trace->enumeration[step_index];
+      step.improved = true;
+      step.note += "  [accepted]";
+    }
+  };
+
+  if (!lazy) {
+    // Volcano-MQO greedy: every round re-costs all remaining candidates
+    // and admits the one with the largest positive incremental benefit.
+    std::vector<int> remaining(n);
+    for (int i = 0; i < n; ++i) remaining[i] = i;
+    bool capped = false;
+    while (!remaining.empty() && !capped) {
+      ++round;
+      double best_delta = 0;
+      int pick = -1;
+      size_t pick_pos = 0;
+      size_t pick_step = 0;
+      PhysicalNodePtr pick_plan;
+      uint64_t pick_used = 0;
+      for (size_t pos = 0; pos < remaining.size(); ++pos) {
+        double delta = 0;
+        PhysicalNodePtr plan;
+        uint64_t used = 0;
+        if (!try_candidate(remaining[pos], &delta, &plan, &used)) {
+          capped = true;
+          break;
+        }
+        if (plan != nullptr && delta > best_delta) {
+          best_delta = delta;
+          pick = remaining[pos];
+          pick_pos = pos;
+          pick_step = trace != nullptr ? trace->enumeration.size() - 1 : 0;
+          pick_plan = std::move(plan);
+          pick_used = used;
+        }
+      }
+      if (pick < 0) break;
+      accept(pick, std::move(pick_plan), pick_used, pick_step);
+      remaining.erase(remaining.begin() + pick_pos);
+    }
+  } else {
+    // Kathuria–Sudarshan-style lazy greedy over the benefit lattice.
+    // Seed every candidate's bound with its singleton benefit; candidates
+    // whose refreshed benefit is non-positive are pruned permanently
+    // (benefits only shrink as the set grows).
+    using Entry = std::pair<double, int>;  // (stale benefit bound, id)
+    std::priority_queue<Entry> queue;
+    bool capped = false;
+    for (int c = 0; c < n && !capped; ++c) {
+      ++round;
+      double delta = 0;
+      PhysicalNodePtr plan;
+      uint64_t used = 0;
+      if (!try_candidate(c, &delta, &plan, &used)) {
+        capped = true;
+        break;
+      }
+      if (plan == nullptr || delta <= 0) {
+        if (trace != nullptr) {
+          trace->prunes.push_back(
+              {StrFormat("candidate #%d", c), "KS",
+               "non-positive singleton benefit; pruned from the lattice"});
+        }
+        continue;
+      }
+      queue.push({delta, c});
+    }
+    while (!queue.empty() && !capped) {
+      ++round;
+      auto [bound, c] = queue.top();
+      queue.pop();
+      double delta = 0;
+      PhysicalNodePtr plan;
+      uint64_t used = 0;
+      if (!try_candidate(c, &delta, &plan, &used)) {
+        capped = true;
+        break;
+      }
+      if (plan == nullptr || delta <= 0) {
+        if (trace != nullptr) {
+          trace->prunes.push_back(
+              {StrFormat("candidate #%d", c), "KS",
+               "refreshed benefit non-positive; pruned from the lattice"});
+        }
+        continue;
+      }
+      if (queue.empty() || delta >= queue.top().first) {
+        // Fresh benefit dominates every stale bound: accept without
+        // re-costing the rest of the queue.
+        if (trace != nullptr) {
+          trace->skipped_stale_bound +=
+              static_cast<int64_t>(queue.size());
+        }
+        accept(c, std::move(plan), used,
+               trace != nullptr ? trace->enumeration.size() - 1 : 0);
+      } else {
+        // Bound was stale; requeue with the (strictly smaller) fresh value.
+        queue.push({delta, c});
+      }
+    }
+  }
+
+  *best_set = Bitset64(current_used != 0 ? current_used : current);
+  if (metrics != nullptr) metrics->cse_optimizations = opts;
+  return best;
+}
+
+PhysicalNodePtr CseQueryOptimizer::EnumerateExhaustive(
+    GroupId root, int n, PhysicalNodePtr normal_plan, Bitset64* best_set,
+    CseMetrics* metrics) {
   PhysicalNodePtr best = normal_plan;
   *best_set = Bitset64();
 
@@ -148,20 +378,14 @@ PhysicalNodePtr CseQueryOptimizer::Enumerate(GroupId root, int n,
     processed.insert(s);
     PhysicalNodePtr plan = optimizer_->BestPlan(root, Bitset64(s));
     if (plan == nullptr) {
-      if (trace != nullptr) trace->enumeration.push_back({s, -1, 0, false});
+      if (trace != nullptr) trace->enumeration.push_back({s, -1, 0, false, ""});
       continue;
     }
-    uint64_t used = 0;
-    for (const auto& [id, count] : plan->cse_uses) {
-      // Recycled candidates pay no initial cost, so even a single reader
-      // keeps them in the used set (§5.2 discard does not apply).
-      int min_uses = optimizer_->candidate(id).recycled ? 1 : 2;
-      if (count >= min_uses && (s >> id & 1)) used |= (1ULL << id);
-    }
+    uint64_t used = UsedMask(*plan, s);
     apply_props(s, used);
     bool improved = plan->est_cost < best->est_cost;
     if (trace != nullptr) {
-      trace->enumeration.push_back({s, plan->est_cost, used, improved});
+      trace->enumeration.push_back({s, plan->est_cost, used, improved, ""});
     }
     if (improved) {
       best = plan;
@@ -185,6 +409,7 @@ ExecutablePlan CseQueryOptimizer::Optimize(
   CHECK(normal_plan != nullptr) << "no feasible plan";
   m->normal_cost = normal_plan->est_cost;
   m->trace.normal_cost = m->normal_cost;
+  m->trace.strategy = EnumerationStrategyName(options_.strategy);
 
   auto finish = [&](PhysicalNodePtr plan, Bitset64 enabled) {
     ExecutablePlan exec = optimizer_->Assemble(std::move(plan), enabled);
@@ -248,20 +473,10 @@ ExecutablePlan CseQueryOptimizer::Optimize(
   // §4.3.3-style net benefit estimate
   //   Σ_i C_i^lower  -  (max_i C_i^lower + C_W + N * C_R).
   if (static_cast<int>(specs.size()) > options_.max_candidates) {
-    auto benefit = [this](const CseSpec& s) {
-      double sum = 0, max_lower = 0;
-      for (GroupId g : s.consumers) {
-        double lower = std::max(0.0, optimizer_->memo().group(g).best_cost);
-        sum += lower;
-        max_lower = std::max(max_lower, lower);
-      }
-      return sum - (max_lower + s.spool_write_cost +
-                    static_cast<double>(s.consumers.size()) *
-                        s.spool_read_cost);
-    };
     std::stable_sort(specs.begin(), specs.end(),
                      [&](const CseSpec& a, const CseSpec& b) {
-                       return benefit(a) > benefit(b);
+                       return generator.NetBenefit(a) >
+                              generator.NetBenefit(b);
                      });
     for (size_t i = options_.max_candidates; i < specs.size(); ++i) {
       m->pruned_descriptions.push_back(specs[i].description +
@@ -396,8 +611,10 @@ ExecutablePlan CseQueryOptimizer::Optimize(
   normal_plan = optimizer_->BestPlan(root, Bitset64());
   CHECK(normal_plan != nullptr);
   Bitset64 best_set;
+  WallTimer enum_timer;
   PhysicalNodePtr best = Enumerate(root, static_cast<int>(specs.size()),
                                    normal_plan, &best_set, m);
+  m->enumerate_seconds = enum_timer.ElapsedSeconds();
   return finish(best, best_set);
 }
 

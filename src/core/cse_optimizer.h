@@ -14,6 +14,8 @@
 #define SUBSHARE_CORE_CSE_OPTIMIZER_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "core/candidate_gen.h"
 #include "core/opt_trace.h"
@@ -25,6 +27,38 @@ namespace subshare {
 namespace cache {
 class ResultCache;
 }  // namespace cache
+
+// How Step 3 searches the space of enabled candidate sets. All strategies
+// produce result-identical plans (the central correctness property and the
+// §5.2 spool-charge invariants hold regardless); only the chosen CSE set —
+// and hence plan cost and optimization time — may differ.
+enum class EnumerationStrategy {
+  // §5.3 subset re-optimization with Props 5.4–5.6 (the paper; default).
+  // Optimal over the candidate set but exponential in its size.
+  kExhaustive,
+  // Volcano-MQO-style greedy (Roy et al.): add the candidate with the best
+  // incremental benefit one at a time, fully re-costing the remaining
+  // candidates each round; the per-(group, enabled ∩ relevant) best-plan
+  // memo means each re-cost touches only the groups the new candidate
+  // affects. O(N²) optimizations.
+  kGreedy,
+  // Kathuria–Sudarshan-style greedy over the benefit lattice: like greedy,
+  // but candidate benefits are kept as lazy upper bounds (benefits shrink
+  // as the set grows), so a popped candidate whose refreshed benefit still
+  // dominates the queue is accepted without re-costing anyone else, and a
+  // candidate whose refreshed benefit drops to zero is pruned for good.
+  // Typically O(N log N) optimizations.
+  kApproximate,
+};
+
+// "exhaustive" / "greedy" / "approximate".
+const char* EnumerationStrategyName(EnumerationStrategy strategy);
+std::optional<EnumerationStrategy> ParseEnumerationStrategy(
+    const std::string& name);
+// Process-wide default: SUBSHARE_ENUM_STRATEGY when set to a valid name
+// (read once), else kExhaustive. Lets CI run the whole suite under another
+// strategy; tests that assert §5.3-specific behavior must pin kExhaustive.
+EnumerationStrategy DefaultEnumerationStrategy();
 
 struct CseOptimizerOptions {
   bool enable_cse = true;
@@ -41,6 +75,8 @@ struct CseOptimizerOptions {
   int max_candidates = 12;
   // Hard cap on CSE re-optimizations.
   int max_optimizations = 512;
+  // Enabled-set search strategy (Step 3).
+  EnumerationStrategy strategy = DefaultEnumerationStrategy();
   // Cross-batch result recycler (not owned; nullptr = disabled). When set,
   // candidates whose canonical key hits a valid cached spool are costed as
   // already-materialized: zero initial cost, C_R per read.
@@ -61,6 +97,9 @@ struct CseMetrics {
   double normal_cost = 0;             // best plan cost without CSEs
   double final_cost = 0;
   double optimize_seconds = 0;
+  // Step-3 enabled-set search time only (the part the EnumerationStrategy
+  // knob changes); detection + candidate generation are strategy-invariant.
+  double enumerate_seconds = 0;
   // (group, context) best-plan computations performed — the work measure
   // that the §5.4 optimization-history reuse keeps low across re-runs.
   int64_t plan_computations = 0;
@@ -88,11 +127,24 @@ class CseQueryOptimizer {
   // (Definition 5.2: competing candidates).
   bool Competing(const CseCandidateInfo& a, const CseCandidateInfo& b) const;
 
-  // §5.3 enumeration with Props 5.4–5.6; returns the best plan and the
-  // enabled set that produced it.
+  // Enabled-set search, dispatched on options_.strategy; returns the best
+  // plan and the enabled set that produced it.
   PhysicalNodePtr Enumerate(GroupId root, int num_candidates,
                             PhysicalNodePtr normal_plan, Bitset64* best_set,
                             CseMetrics* metrics);
+  // §5.3 subset enumeration with Props 5.4–5.6.
+  PhysicalNodePtr EnumerateExhaustive(GroupId root, int num_candidates,
+                                      PhysicalNodePtr normal_plan,
+                                      Bitset64* best_set, CseMetrics* metrics);
+  // kGreedy (lazy=false) and kApproximate (lazy=true) share the incremental
+  // add-one-candidate loop; lazy mode adds the stale-bound pruning.
+  PhysicalNodePtr EnumerateGreedy(GroupId root, int num_candidates,
+                                  PhysicalNodePtr normal_plan,
+                                  Bitset64* best_set, CseMetrics* metrics,
+                                  bool lazy);
+  // Candidates actually spooled by enough consumers under `enabled_mask`
+  // (recycled candidates need one reader, fresh ones two — §5.2).
+  uint64_t UsedMask(const PhysicalNode& plan, uint64_t enabled_mask) const;
 
   QueryContext* ctx_;
   CseOptimizerOptions options_;

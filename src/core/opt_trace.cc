@@ -60,26 +60,35 @@ std::string OptTrace::ExplainTrace() const {
 
   if (!enumeration.empty() || skipped_prop54 + skipped_prop55 +
                                   skipped_prop56 > 0) {
-    out += StrFormat("enumeration: %d set(s) optimized%s\n",
-                     static_cast<int>(enumeration.size()),
+    out += StrFormat("enumeration [%s]: %d set(s) optimized%s\n",
+                     strategy.c_str(), static_cast<int>(enumeration.size()),
                      enumeration_capped ? "  [capped]" : "");
     for (const EnumStep& e : enumeration) {
+      std::string note = e.note.empty() ? "" : "  (" + e.note + ")";
       if (e.cost < 0) {
-        out += StrFormat("  %s -> infeasible\n",
-                         MaskToString(e.subset).c_str());
+        out += StrFormat("  %s -> infeasible%s\n",
+                         MaskToString(e.subset).c_str(), note.c_str());
         continue;
       }
-      out += StrFormat("  %s -> cost %.2f, used %s%s\n",
+      out += StrFormat("  %s -> cost %.2f, used %s%s%s\n",
                        MaskToString(e.subset).c_str(), e.cost,
                        MaskToString(e.used).c_str(),
-                       e.improved ? "  [new best]" : "");
+                       e.improved ? "  [new best]" : "", note.c_str());
     }
-    out += StrFormat(
-        "  skipped as redundant: %lld (Prop 5.4), %lld (Prop 5.5), "
-        "%lld (Prop 5.6)\n",
-        static_cast<long long>(skipped_prop54),
-        static_cast<long long>(skipped_prop55),
-        static_cast<long long>(skipped_prop56));
+    if (skipped_prop54 + skipped_prop55 + skipped_prop56 > 0) {
+      out += StrFormat(
+          "  skipped as redundant: %lld (Prop 5.4), %lld (Prop 5.5), "
+          "%lld (Prop 5.6)\n",
+          static_cast<long long>(skipped_prop54),
+          static_cast<long long>(skipped_prop55),
+          static_cast<long long>(skipped_prop56));
+    }
+    if (skipped_stale_bound > 0) {
+      out += StrFormat(
+          "  accepted on stale lazy bound without re-costing: %lld "
+          "candidate evaluation(s) saved\n",
+          static_cast<long long>(skipped_stale_bound));
+    }
   }
 
   if (!cache_events.empty()) {
@@ -90,8 +99,10 @@ std::string OptTrace::ExplainTrace() const {
     }
   }
 
-  out += StrFormat("chosen set: %s  (normal cost %.2f -> final cost %.2f)\n",
-                   MaskToString(chosen_set).c_str(), normal_cost, final_cost);
+  out += StrFormat(
+      "chosen set: %s via %s  (normal cost %.2f -> final cost %.2f)\n",
+      MaskToString(chosen_set).c_str(), strategy.c_str(), normal_cost,
+      final_cost);
   return out;
 }
 

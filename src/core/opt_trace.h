@@ -44,12 +44,16 @@ struct OptTrace {
     int num_consumers = 0;
   };
 
-  // §5.3 enumeration: one entry per enabled set actually optimized.
+  // Enumeration: one entry per enabled set actually optimized. Under the
+  // exhaustive strategy these are §5.3 subset steps; the greedy /
+  // approximate strategies tag each step with a provenance note ("greedy
+  // round 2: try +#3") so a report is never misread as §5 subset steps.
   struct EnumStep {
     uint64_t subset = 0;    // enabled candidate bitmask
     double cost = 0;        // best plan cost under this set (<0: infeasible)
     uint64_t used = 0;      // candidates spooled by >= 2 consumers
     bool improved = false;  // became the best plan so far
+    std::string note;       // strategy provenance; empty for exhaustive §5.3
   };
 
   std::vector<SignatureSet> signatures;
@@ -66,6 +70,12 @@ struct OptTrace {
   int64_t skipped_prop55 = 0;
   int64_t skipped_prop56 = 0;
   bool enumeration_capped = false;  // hit max_optimizations
+  // Which strategy produced the enumeration steps above ("exhaustive",
+  // "greedy", "approximate") — the chosen-set provenance.
+  std::string strategy = "exhaustive";
+  // Approximate strategy only: candidates accepted on a stale lazy bound
+  // without re-costing the rest of the queue (Kathuria–Sudarshan pruning).
+  int64_t skipped_stale_bound = 0;
 
   uint64_t chosen_set = 0;
   double normal_cost = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
@@ -96,13 +97,12 @@ void CountSpoolScans(const PhysicalNode& node, std::map<int, int>* scans) {
   }
 }
 
-struct ConfigRun {
-  const char* name;
-  bool cse;
-  ExecMode mode;
-};
-
 }  // namespace
+
+std::vector<EnumerationStrategy> AllEnumerationStrategies() {
+  return {EnumerationStrategy::kExhaustive, EnumerationStrategy::kGreedy,
+          EnumerationStrategy::kApproximate};
+}
 
 std::string PlanInvariantViolation(const ExecutablePlan& plan) {
   std::set<int> known;
@@ -190,18 +190,15 @@ DifferentialTester::DifferentialTester(Catalog* catalog, DiffOptions options)
     : catalog_(catalog), options_(std::move(options)) {}
 
 std::optional<Divergence> DifferentialTester::Check(const std::string& sql) {
-  // Bind + plan once per planner; execute each plan in both pull modes.
+  // Bind + plan once per planner (one CSE plan per enumeration strategy);
+  // execute each plan in both pull modes.
   QueryContext naive_ctx(catalog_);
   auto naive_bound = sql::BindSql(sql, &naive_ctx);
   if (!naive_bound.ok()) return std::nullopt;  // front-end error: no diverge
   ExecutablePlan naive_plan = NaivePlanBatch(*naive_bound, &naive_ctx);
 
-  QueryContext cse_ctx(catalog_);
-  auto cse_bound = sql::BindSql(sql, &cse_ctx);
-  CHECK(cse_bound.ok()) << "bind not deterministic: " << sql;
-  CseQueryOptimizer cse_opt(&cse_ctx, options_.cse);
-  CseMetrics metrics;
-  ExecutablePlan cse_plan = cse_opt.Optimize(*cse_bound, &metrics);
+  std::vector<EnumerationStrategy> strategies = options_.strategies;
+  if (strategies.empty()) strategies = {options_.cse.strategy};
 
   size_t num_stmts = naive_bound->size();
   statements_checked_ += static_cast<int64_t>(num_stmts);
@@ -209,36 +206,79 @@ std::optional<Divergence> DifferentialTester::Check(const std::string& sql) {
   Divergence d;
   d.sql = sql;
   d.original_sql = sql;
-  auto fail = [&](std::string kind, std::string detail) {
+  auto fail = [&](std::string kind, std::string detail, std::string trace) {
     d.kind = std::move(kind);
     d.detail = std::move(detail);
-    d.trace = metrics.trace.ExplainTrace();
+    d.trace = std::move(trace);
     return d;
   };
 
-  if (options_.check_plan_invariants) {
-    std::string violation = PlanInvariantViolation(cse_plan);
-    if (!violation.empty()) return fail("plan-invariant", violation);
+  // One CSE plan per strategy. The contexts must outlive plan execution.
+  struct CseRun {
+    std::string label;        // "cse[exhaustive]"
+    ExecutablePlan plan;
+    std::string trace;        // ExplainTrace() of this strategy's run
+  };
+  std::vector<std::unique_ptr<QueryContext>> cse_ctxs;
+  std::vector<CseRun> cse_runs;
+  for (EnumerationStrategy strategy : strategies) {
+    cse_ctxs.push_back(std::make_unique<QueryContext>(catalog_));
+    auto bound = sql::BindSql(sql, cse_ctxs.back().get());
+    CHECK(bound.ok()) << "bind not deterministic: " << sql;
+    CseOptimizerOptions cse_options = options_.cse;
+    cse_options.strategy = strategy;
+    CseQueryOptimizer cse_opt(cse_ctxs.back().get(), cse_options);
+    CseMetrics metrics;
+    CseRun run;
+    run.label = StrFormat("cse[%s]", EnumerationStrategyName(strategy));
+    run.plan = cse_opt.Optimize(*bound, &metrics);
+    run.trace = metrics.trace.ExplainTrace();
+
+    if (options_.check_plan_invariants) {
+      std::string violation = PlanInvariantViolation(run.plan);
+      if (!violation.empty()) {
+        return fail("plan-invariant", run.label + ": " + violation,
+                    run.trace);
+      }
+    }
+    cse_runs.push_back(std::move(run));
   }
 
-  const ConfigRun runs[] = {
-      {"naive/row", false, ExecMode::kRowAtATime},
-      {"naive/batch", false, ExecMode::kBatch},
-      {"cse/row", true, ExecMode::kRowAtATime},
-      {"cse/batch", true, ExecMode::kBatch},
+  struct ConfigRun {
+    std::string name;
+    const ExecutablePlan* plan;
+    ExecMode mode;
+    const std::string* trace;  // nullptr for the naive configurations
+  };
+  std::vector<ConfigRun> runs = {
+      {"naive/row", &naive_plan, ExecMode::kRowAtATime, nullptr},
+      {"naive/batch", &naive_plan, ExecMode::kBatch, nullptr},
+  };
+  for (const CseRun& run : cse_runs) {
+    runs.push_back({run.label + "/row", &run.plan, ExecMode::kRowAtATime,
+                    &run.trace});
+    runs.push_back({run.label + "/batch", &run.plan, ExecMode::kBatch,
+                    &run.trace});
+  }
+
+  auto trace_of = [&](const ConfigRun& run) {
+    // Attach the diverging strategy's trace; a naive-only divergence still
+    // reports the first strategy's decisions for context.
+    if (run.trace != nullptr) return *run.trace;
+    return cse_runs.empty() ? std::string() : cse_runs.front().trace;
   };
   std::vector<std::vector<StatementResult>> results;
   for (const ConfigRun& run : runs) {
     ExecOptions exec;
     exec.mode = run.mode;
     exec.time_operators = false;
-    results.push_back(
-        ExecutePlan(run.cse ? cse_plan : naive_plan, exec, nullptr));
+    results.push_back(ExecutePlan(*run.plan, exec, nullptr));
     if (results.back().size() != num_stmts) {
-      return fail("error", StrFormat("%s produced %zu statement results, "
-                                     "expected %zu",
-                                     run.name, results.back().size(),
-                                     num_stmts));
+      return fail("error",
+                  StrFormat("%s produced %zu statement results, expected %zu",
+                            run.name.c_str(), results.back().size(),
+                            num_stmts),
+                  trace_of(run));
     }
   }
 
@@ -249,7 +289,8 @@ std::optional<Divergence> DifferentialTester::Check(const std::string& sql) {
       if (!MultisetEqual(results[0][s].rows, results[cfg][s].rows, &why)) {
         return fail("result-mismatch",
                     StrFormat("statement %zu: naive/row vs %s: %s", s,
-                              runs[cfg].name, why.c_str()));
+                              runs[cfg].name.c_str(), why.c_str()),
+                    trace_of(runs[cfg]));
       }
     }
   }

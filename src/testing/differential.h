@@ -1,11 +1,14 @@
-// Differential query checker: executes a SQL batch under all four planner ×
+// Differential query checker: executes a SQL batch under all planner ×
 // executor configurations —
 //
-//     row-mode naive, row-mode CSE, batch-mode naive, batch-mode CSE
+//     row-mode naive, batch-mode naive, and row + batch mode CSE for every
+//     configured enumeration strategy (§5.3 exhaustive by default; with a
+//     strategy sweep, greedy and approximate too)
 //
 // — and cross-checks that every statement produces the same result multiset
 // (the repo's central correctness property: CSE sharing must be invisible in
-// results, and batch execution must match the row-at-a-time reference).
+// results regardless of which strategy picked the CSE set, and batch
+// execution must match the row-at-a-time reference).
 // CSE plans are additionally checked against the §5.2 cost/spool
 // invariants: every materialized candidate is read by at least two spool
 // scans, its initial cost C_E + C_W is charged exactly once (one
@@ -19,6 +22,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "core/cse_optimizer.h"
@@ -28,9 +32,16 @@ namespace subshare::testing {
 
 struct DiffOptions {
   CseOptimizerOptions cse;           // options for the CSE configurations
+  // Enumeration strategies to cross-check. Empty (the default) runs just
+  // cse.strategy; listing several optimizes the batch once per strategy
+  // and checks plan invariants and result multisets for each.
+  std::vector<EnumerationStrategy> strategies;
   bool check_plan_invariants = true;
   int max_shrink_steps = 64;         // accepted reductions before giving up
 };
+
+// The full strategy sweep: {exhaustive, greedy, approximate}.
+std::vector<EnumerationStrategy> AllEnumerationStrategies();
 
 // A confirmed disagreement between configurations (or a violated plan
 // invariant), with a minimized reproducer.

@@ -3,6 +3,9 @@
 //   - runs seeded random query batches (>= 500 statements by default)
 //     under row/batch × naive/CSE and cross-checks results and the §5.2
 //     cost/spool plan invariants,
+//   - sweeps the enumeration strategies (exhaustive/greedy/approximate)
+//     over the corpus and random batches, cross-checking every strategy's
+//     plan against the naive reference,
 //   - pins generator determinism and shrinker well-formedness, and the
 //     exactly-once C_E + C_W charge at the candidate's LCA.
 //
@@ -89,6 +92,56 @@ TEST_F(FuzzDifferentialTest, RandomBatches) {
   // (only meaningful at the default batch count).
   if (batches >= 250) {
     EXPECT_GE(tester.statements_checked(), 500);
+  }
+}
+
+// Strategy sweep: every batch is planned once per enumeration strategy and
+// all plans are cross-checked (row + batch modes) against the naive
+// reference, plus the §5.2 plan invariants per strategy. Only the chosen
+// CSE set may differ between strategies — results never.
+TEST_F(FuzzDifferentialTest, StrategySweepCorpusReplay) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SUBSHARE_CORPUS_DIR)) {
+    if (entry.path().extension() == ".sql") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+
+  testing::DiffOptions options;
+  options.strategies = testing::AllEnumerationStrategies();
+  testing::DifferentialTester tester(catalog_, options);
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto d = tester.Check(buf.str());
+    EXPECT_FALSE(d.has_value()) << file << ":\n" << d->ToString();
+  }
+}
+
+TEST_F(FuzzDifferentialTest, StrategySweepRandomBatches) {
+  int batches = 250;
+  if (const char* env = std::getenv("SUBSHARE_FUZZ_BATCHES")) {
+    batches = std::atoi(env);
+  }
+  // Each batch runs 2 + 2·(#strategies) configurations; halve the count to
+  // keep the suite's wall time in line with the single-strategy leg.
+  batches = std::max(1, batches / 2);
+  testing::DiffOptions options;
+  options.strategies = testing::AllEnumerationStrategies();
+  testing::DifferentialTester tester(catalog_, options);
+  for (int i = 0; i < batches; ++i) {
+    uint64_t seed = 3000000 + static_cast<uint64_t>(i);
+    testing::QueryGenerator gen(catalog_, seed);
+    testing::BatchSpec batch = gen.NextBatch();
+    batch.seed = seed;
+    auto d = tester.CheckBatch(batch);
+    ASSERT_FALSE(d.has_value()) << "seed " << seed << ":\n" << d->ToString();
+  }
+  if (batches >= 125) {
+    EXPECT_GE(tester.statements_checked(), 250);
   }
 }
 
