@@ -1,0 +1,172 @@
+// Multi-session server benchmark (DESIGN.md §13): N sessions sharing one
+// server's plan cache and CSE result recycler vs. N isolated single-session
+// servers running the same workload cold.
+//
+// Each session executes the same B structurally distinct shared-CSE batches
+// in round-robin offset order, so under the shared server the first session
+// pays the optimize/spool cost and every later session rides the caches —
+// cross-session plan hits and recycled spools. The isolated baseline gives
+// every session its own cold caches, so each re-optimizes and re-spools
+// everything. Sessions run sequentially (single-core machine): the numbers
+// compare total work, not parallel scheduling.
+//
+// Emits BENCH_server.json:
+//   {"bench":"server","scale_factor":...,"sessions":N,"batches":B,
+//    "shared_seconds":...,"isolated_seconds":...,"speedup":...,
+//    "shared_plan_hits":...,"shared_spools_recycled":...,
+//    "shared_spools_admitted":...,"isolated_plan_hits":...}
+// Exits nonzero when the shared server shows no cross-session plan hits /
+// recycled spools, when a warm result diverges from the naive reference, or
+// when the shared run fails to beat the isolated baseline (the machine is
+// noisy — rerun before believing a regression).
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/server.h"
+
+namespace subshare::bench {
+namespace {
+
+constexpr int kSessions = 4;
+constexpr int kBatches = 6;
+
+std::string WorkloadBatch(int j) {
+  // Three Example-1-family statements sharing the C⨝O⨝L core with rotating
+  // predicates/groupings: plenty of within-batch CSEs, and each j is a
+  // distinct statement structure (distinct plan-cache fingerprint).
+  return ScaleupQuery(j) + "; " + ScaleupQuery(j + kBatches) + "; " +
+         ScaleupQuery(j + 2 * kBatches);
+}
+
+std::multiset<std::string> ResultSet(const QueryResult& r) {
+  std::multiset<std::string> out;
+  for (const StatementResult& stmt : r.statements) {
+    for (const Row& row : stmt.rows) {
+      std::string s;
+      for (const Value& v : row) s += v.ToString() + "|";
+      out.insert(std::move(s));
+    }
+  }
+  return out;
+}
+
+// Runs every session against `server` (round-robin batch offset) and
+// returns total wall seconds.
+double RunSessions(server::Server* server, const QueryOptions& options,
+                   QueryResult* last) {
+  WallTimer timer;
+  for (int s = 0; s < kSessions; ++s) {
+    auto session = server->Connect();
+    for (int k = 0; k < kBatches; ++k) {
+      StatusOr<QueryResult> r =
+          session->Execute(WorkloadBatch((s + k) % kBatches), options);
+      CHECK(r.ok()) << r.status().ToString();
+      if (last != nullptr) *last = std::move(*r);
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace subshare::bench
+
+int main() {
+  using namespace subshare;
+  using namespace subshare::bench;
+
+  double sf = ScaleFactor();
+  Database db;
+  CHECK(db.LoadTpch(sf).ok());
+  std::printf("bench_server: sf=%g sessions=%d batches=%d\n", sf, kSessions,
+              kBatches);
+
+  QueryOptions cached;
+  cached.cache.plan_cache = true;
+  cached.cache.result_cache = true;
+
+  // Shared: one server, one set of caches, every session after the first
+  // rides them.
+  server::Server shared(&db);
+  QueryResult shared_last;
+  double shared_seconds = RunSessions(&shared, cached, &shared_last);
+  server::ServerStats shared_stats = shared.stats();
+
+  // Isolated baseline: a fresh server (fresh caches) per session.
+  double isolated_seconds = 0;
+  int64_t isolated_plan_hits = 0;
+  for (int s = 0; s < kSessions; ++s) {
+    server::Server isolated(&db);
+    // One session per server: reuse RunSessions' inner loop shape by
+    // running just this session's sequence.
+    WallTimer timer;
+    auto session = isolated.Connect();
+    for (int k = 0; k < kBatches; ++k) {
+      StatusOr<QueryResult> r =
+          session->Execute(WorkloadBatch((s + k) % kBatches), cached);
+      CHECK(r.ok()) << r.status().ToString();
+    }
+    isolated_seconds += timer.ElapsedSeconds();
+    isolated_plan_hits += isolated.stats().plan_hits;
+  }
+
+  // Correctness spot check: the last (fully warm, recycled-spool) shared
+  // result must equal the naive reference.
+  QueryOptions naive;
+  naive.use_naive_plan = true;
+  StatusOr<QueryResult> reference =
+      db.Execute(WorkloadBatch((kSessions - 1 + kBatches - 1) % kBatches),
+                 naive);
+  CHECK(reference.ok()) << reference.status().ToString();
+  bool results_match = ResultSet(shared_last) == ResultSet(*reference);
+
+  double speedup =
+      shared_seconds > 0 ? isolated_seconds / shared_seconds : 0;
+  std::printf(
+      "  shared:   %.3fs  (%lld plan hits, %lld spools recycled, %lld "
+      "admitted)\n",
+      shared_seconds, static_cast<long long>(shared_stats.plan_hits),
+      static_cast<long long>(shared_stats.spools_recycled),
+      static_cast<long long>(shared_stats.spools_admitted));
+  std::printf("  isolated: %.3fs  (%lld plan hits across servers)\n",
+              isolated_seconds, static_cast<long long>(isolated_plan_hits));
+  std::printf("  speedup:  %.2fx  results_match=%d\n", speedup,
+              results_match ? 1 : 0);
+
+  FILE* f = std::fopen("BENCH_server.json", "w");
+  CHECK(f != nullptr) << "cannot write BENCH_server.json";
+  std::fprintf(
+      f,
+      "{\"bench\":\"server\",\"scale_factor\":%g,\"sessions\":%d,"
+      "\"batches\":%d,\"shared_seconds\":%.6f,\"isolated_seconds\":%.6f,"
+      "\"speedup\":%.3f,\"shared_plan_hits\":%lld,"
+      "\"shared_spools_recycled\":%lld,\"shared_spools_admitted\":%lld,"
+      "\"isolated_plan_hits\":%lld,\"results_match\":%s}\n",
+      sf, kSessions, kBatches, shared_seconds, isolated_seconds, speedup,
+      static_cast<long long>(shared_stats.plan_hits),
+      static_cast<long long>(shared_stats.spools_recycled),
+      static_cast<long long>(shared_stats.spools_admitted),
+      static_cast<long long>(isolated_plan_hits),
+      results_match ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_server.json\n");
+
+  // Cross-session sharing must be visible, correct, and faster than N cold
+  // servers: the first session warms (kBatches admissions), the other
+  // kSessions-1 sessions hit on every batch.
+  bool ok = results_match &&
+            shared_stats.plan_hits >= (kSessions - 1) * kBatches &&
+            shared_stats.spools_recycled > 0 && speedup > 1.0;
+  if (!ok) {
+    std::printf("bench_server: FAILED gate (hits=%lld recycled=%lld "
+                "speedup=%.2f match=%d)\n",
+                static_cast<long long>(shared_stats.plan_hits),
+                static_cast<long long>(shared_stats.spools_recycled), speedup,
+                results_match ? 1 : 0);
+    return 1;
+  }
+  return 0;
+}

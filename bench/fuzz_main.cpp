@@ -1,7 +1,7 @@
 // Standalone differential fuzzer for long runs.
 //
 //   fuzz_main [--seed=N] [--batches=N] [--sf=X] [--stop-on-first] [--cache]
-//             [--strategy=<all|exhaustive|greedy|approximate>]
+//             [--sessions=K] [--strategy=<all|exhaustive|greedy|approximate>]
 //
 // Generates `batches` random query batches (testing/query_gen.h), one
 // generator per seed in [seed, seed+batches), and cross-checks each under
@@ -19,6 +19,14 @@
 // the plan cache and CSE result recycler with interleaved random inserts,
 // cross-checked against the naive reference — any stale plan-cache variant
 // or recycled spool served across a version bump diverges.
+//
+// With --sessions=K (K > 0), runs the multi-session checker instead
+// (testing/multi_session.h): K concurrent session threads share one
+// server's plan cache and result recycler while randomly appending rows;
+// --batches is the total across sessions. Single-strategy only; run the
+// ThreadSanitizer build of this mode to catch races the differential check
+// cannot see.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +36,7 @@
 #include "catalog/catalog.h"
 #include "testing/cache_differential.h"
 #include "testing/differential.h"
+#include "testing/multi_session.h"
 #include "testing/query_gen.h"
 #include "tpch/tpch.h"
 #include "util/check.h"
@@ -83,6 +92,30 @@ int RunCacheMode(uint64_t seed, int batches, double sf,
   return divergences == 0 ? 0 : 1;
 }
 
+int RunMultiSessionMode(uint64_t seed, int batches, double sf, int sessions,
+                        subshare::EnumerationStrategy strategy) {
+  Database db;
+  CHECK(db.LoadTpch(sf).ok());
+  subshare::testing::MultiSessionOptions options;
+  options.sessions = sessions;
+  options.batches_per_session = std::max(1, (batches + sessions - 1) / sessions);
+  options.seed = seed;
+  options.strategy = strategy;
+  options.progress_every = 50;
+  std::printf("fuzz (multi-session): sf=%g sessions=%d batches/session=%d "
+              "seed=%llu\n",
+              sf, sessions, options.batches_per_session,
+              static_cast<unsigned long long>(seed));
+  subshare::testing::MultiSessionReport report =
+      subshare::testing::RunMultiSessionFuzz(&db, options);
+  std::printf("fuzz (multi-session): %s\n",
+              subshare::testing::MultiSessionSummary(report).c_str());
+  for (const std::string& r : report.reports) {
+    std::printf("=== divergence ===\n%s\n", r.c_str());
+  }
+  return report.divergences == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +124,7 @@ int main(int argc, char** argv) {
   double sf = 0.002;
   bool stop_on_first = false;
   bool cache_mode = false;
+  int sessions = 0;
   std::string strategy_name = "exhaustive";
   if (const char* env = std::getenv("SUBSHARE_SF")) sf = std::atof(env);
   if (const char* env = std::getenv("SUBSHARE_FUZZ_CACHE")) {
@@ -108,6 +142,8 @@ int main(int argc, char** argv) {
       sf = std::atof(argv[i] + 5);
     } else if (std::strncmp(argv[i], "--strategy=", 11) == 0) {
       strategy_name = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+      sessions = std::atoi(argv[i] + 11);
     } else if (std::strcmp(argv[i], "--stop-on-first") == 0) {
       stop_on_first = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
@@ -128,12 +164,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown strategy: %s\n", strategy_name.c_str());
     return 2;
   }
-  if (cache_mode) {
+  if (cache_mode || sessions > 0) {
     if (strategies.size() != 1) {
       std::fprintf(stderr,
-                   "cache mode checks one strategy per run; pick one of "
-                   "exhaustive|greedy|approximate\n");
+                   "cache / multi-session modes check one strategy per run; "
+                   "pick one of exhaustive|greedy|approximate\n");
       return 2;
+    }
+    if (sessions > 0) {
+      return RunMultiSessionMode(seed, batches, sf, sessions, strategies[0]);
     }
     return RunCacheMode(seed, batches, sf, strategies[0]);
   }

@@ -23,6 +23,22 @@ StatusOr<Table*> Database::CreateTable(const std::string& name,
 
 StatusOr<QueryResult> Database::Execute(const std::string& sql,
                                         const QueryOptions& options) {
+  // Lazily create the owned caches when the options first ask for them,
+  // then run through the shared-cache entry point.
+  if (options.cache.plan_cache && plan_cache_ == nullptr) {
+    plan_cache_ = std::make_unique<cache::PlanCache>(&catalog_);
+  }
+  if (options.cache.result_cache && result_cache_ == nullptr) {
+    result_cache_ = std::make_unique<cache::ResultCache>(
+        &catalog_, options.cache.result_budget_bytes);
+  }
+  return ExecuteWith(sql, options, plan_cache_.get(), result_cache_.get());
+}
+
+StatusOr<QueryResult> Database::ExecuteWith(const std::string& sql,
+                                            const QueryOptions& options,
+                                            cache::PlanCache* plan_cache,
+                                            cache::ResultCache* result_cache) {
   QueryResult result;
   WallTimer phase_timer;
 
@@ -37,15 +53,10 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
   // EXPLAIN and naive-plan runs bypass both caches: neither produces the
   // optimizer output the caches are contracts over.
   const bool caches_apply = !explain && !options.use_naive_plan;
-  const bool use_plan_cache = caches_apply && options.cache.plan_cache;
-  const bool use_result_cache = caches_apply && options.cache.result_cache;
-  if (use_plan_cache && plan_cache_ == nullptr) {
-    plan_cache_ = std::make_unique<cache::PlanCache>(&catalog_);
-  }
-  if (use_result_cache && result_cache_ == nullptr) {
-    result_cache_ = std::make_unique<cache::ResultCache>(
-        &catalog_, options.cache.result_budget_bytes);
-  }
+  const bool use_plan_cache =
+      caches_apply && options.cache.plan_cache && plan_cache != nullptr;
+  const bool use_result_cache =
+      caches_apply && options.cache.result_cache && result_cache != nullptr;
 
   // Fingerprint before binding: assigns each parameterized literal its slot
   // in place, which the binder threads into Expr literals so an admitted
@@ -63,7 +74,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
   ExecutablePlan plan;
   bool have_plan = false;
   if (use_plan_cache) {
-    if (std::optional<cache::PlanCache::Hit> hit = plan_cache_->Lookup(fp)) {
+    if (std::optional<cache::PlanCache::Hit> hit = plan_cache->Lookup(fp)) {
       plan = std::move(hit->plan);
       result.column_names = std::move(hit->column_names);
       result.plan_text = std::move(hit->plan_text);
@@ -92,7 +103,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
       plan = NaivePlanBatch(statements, &ctx);
     } else {
       CseOptimizerOptions cse_options = options.cse;
-      if (use_result_cache) cse_options.result_cache = result_cache_.get();
+      if (use_result_cache) cse_options.result_cache = result_cache;
       CseQueryOptimizer optimizer(&ctx, cse_options);
       plan = optimizer.Optimize(statements, &result.metrics);
     }
@@ -100,7 +111,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
     result.plan_text = plan.ToString(ctx.Namer());
 
     if (use_plan_cache) {
-      plan_cache_->Admit(fp, plan, result.column_names, result.plan_text);
+      plan_cache->Admit(fp, plan, result.column_names, result.plan_text);
     }
   }
 
@@ -118,7 +129,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
     phase_timer.Reset();
     ExecOptions exec = options.exec;
     if (use_result_cache) {
-      exec.result_cache = result_cache_.get();
+      exec.result_cache = result_cache;
       exec.admit_results = options.cache.admit_results;
     }
     result.statements = ExecutePlan(plan, exec, &result.execution);
@@ -126,9 +137,9 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql,
     result.cache.spools_recycled = result.execution.spools_recycled;
     result.cache.spools_admitted = result.execution.spools_admitted;
   }
-  if (plan_cache_ != nullptr) result.cache.plan_stats = plan_cache_->stats();
-  if (result_cache_ != nullptr) {
-    result.cache.result_stats = result_cache_->stats();
+  if (plan_cache != nullptr) result.cache.plan_stats = plan_cache->stats();
+  if (result_cache != nullptr) {
+    result.cache.result_stats = result_cache->stats();
   }
   return result;
 }

@@ -95,6 +95,18 @@ class Database {
   StatusOr<QueryResult> Execute(const std::string& sql,
                                 const QueryOptions& options = {});
 
+  // Same pipeline, but against caller-owned caches instead of the
+  // Database's lazily created ones — the entry point the multi-session
+  // server uses so N sessions share one plan cache and one result recycler
+  // (both are internally synchronized). Either pointer may be nullptr to
+  // disable that cache regardless of `options.cache`. Does NOT serialize
+  // table access: callers running concurrently must hold the server's
+  // shared data lock (DESIGN.md §13).
+  StatusOr<QueryResult> ExecuteWith(const std::string& sql,
+                                    const QueryOptions& options,
+                                    cache::PlanCache* plan_cache,
+                                    cache::ResultCache* result_cache);
+
   // Renders a result table ("col | col | ..." plus rows) for examples.
   static std::string FormatResult(const StatementResult& result,
                                   const std::vector<std::string>& columns,

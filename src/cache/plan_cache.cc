@@ -72,6 +72,7 @@ bool PlanCache::DepsValid(const Variant& v) const {
 }
 
 std::optional<PlanCache::Hit> PlanCache::Lookup(const BatchFingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fp.text);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -143,6 +144,7 @@ std::optional<PlanCache::Hit> PlanCache::Lookup(const BatchFingerprint& fp) {
 void PlanCache::Admit(const BatchFingerprint& fp, ExecutablePlan plan,
                       std::vector<std::vector<std::string>> column_names,
                       std::string plan_text) {
+  std::lock_guard<std::mutex> lock(mu_);
   Variant v;
   for (const std::string& name : fp.tables) {
     const Table* t = catalog_->GetTable(name);
@@ -185,7 +187,13 @@ void PlanCache::Admit(const BatchFingerprint& fp, ExecutablePlan plan,
   }
 }
 
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 int64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t n = 0;
   for (const auto& [key, entry] : entries_) {
     n += static_cast<int64_t>(entry.variants.size());
@@ -193,9 +201,15 @@ int64_t PlanCache::size() const {
   return n;
 }
 
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 int PlanCache::CountVariantsDependingOn(const std::string& name) const {
   const Table* t = catalog_->GetTable(name);
   if (t == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
   int n = 0;
   for (const auto& [key, entry] : entries_) {
     for (const Variant& v : entry.variants) {

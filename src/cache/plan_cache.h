@@ -18,12 +18,18 @@
 // Validity: variants snapshot (table, version) pairs for every referenced
 // table; any mismatch at lookup invalidates the variant. This also covers
 // dropped tables (dangling Table* in the plan are never dereferenced).
+//
+// Thread safety: Lookup/Admit/Clear and the accessors are safe to call
+// concurrently (internal mutex; a lookup may block briefly behind another
+// session's admit). Exact hits hand out the SAME plan tree to every caller;
+// that is sound because physical plans are immutable during execution.
 #ifndef SUBSHARE_CACHE_PLAN_CACHE_H_
 #define SUBSHARE_CACHE_PLAN_CACHE_H_
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,9 +71,9 @@ class PlanCache {
              std::vector<std::vector<std::string>> column_names,
              std::string plan_text);
 
-  void Clear() { entries_.clear(); }
+  void Clear();
   int64_t size() const;
-  const PlanCacheStats& stats() const { return stats_; }
+  PlanCacheStats stats() const;  // consistent snapshot
 
   // --- test support ---
   // Variants (across all fingerprints) referencing table `name`.
@@ -93,6 +99,11 @@ class PlanCache {
   const Catalog* catalog_;
   size_t max_keys_;
   size_t max_variants_;
+  // Serializes lookup/admit/evict across sessions (lookups mutate recency
+  // and may install rebound variants, so a reader/writer split buys
+  // nothing). Hits copy the plan's shared root under the lock; execution
+  // itself never holds it. See DESIGN.md §13 for the lock order.
+  mutable std::mutex mu_;
   uint64_t tick_ = 0;
   std::map<std::string, KeyEntry> entries_;
   PlanCacheStats stats_;

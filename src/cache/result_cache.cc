@@ -27,33 +27,36 @@ bool ResultCache::IsStale(const Entry& e) const {
   return false;
 }
 
-void ResultCache::Erase(const std::string& key) {
+void ResultCache::EraseLocked(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
-  bytes_used_ -= it->second.bytes;
+  bytes_used_ -= it->second->bytes;
+  // Unlink only: any Pin still held by a running execution keeps the
+  // entry's columns alive until that execution finishes.
   entries_.erase(it);
 }
 
-const ResultCache::Entry* ResultCache::Lookup(const std::string& key,
-                                              bool count_stats) {
+ResultCache::Pin ResultCache::Lookup(const std::string& key,
+                                     bool count_stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     if (count_stats) ++stats_.misses;
     return nullptr;
   }
-  if (IsStale(it->second)) {
+  if (IsStale(*it->second)) {
     ++stats_.invalidations;
-    Erase(key);
+    EraseLocked(key);
     if (count_stats) ++stats_.misses;
     return nullptr;
   }
-  Entry& e = it->second;
+  std::shared_ptr<Entry> e = it->second;
   if (count_stats) {
-    e.last_used = ++tick_;
-    ++e.hits;
+    e->last_used = ++tick_;
+    ++e->hits;
     ++stats_.hits;
   }
-  return &e;
+  return e;
 }
 
 bool ResultCache::Admit(const std::string& key,
@@ -70,59 +73,83 @@ bool ResultCache::Admit(const std::string& key,
                         const std::vector<TableId>& dep_tables,
                         Schema schema, const ColumnStore& data,
                         double benefit) {
-  Entry entry;
+  auto entry = std::make_shared<Entry>();
+  entry->schema = std::move(schema);
+  entry->data = data;  // copy: the work table keeps (and may outlive) its own
+  entry->bytes = entry->data.ByteSize();
+  entry->benefit = benefit;
+
+  std::lock_guard<std::mutex> lock(mu_);
   for (TableId id : dep_tables) {
     const Table* t = catalog_->GetTable(id);
     if (t == nullptr) {
       ++stats_.rejected;
       return false;  // dependency gone; nothing to validate against
     }
-    entry.deps.emplace_back(id, t->version());
+    entry->deps.emplace_back(id, t->version());
   }
-  entry.schema = std::move(schema);
-  entry.data = data;  // copy: the work table keeps (and may outlive) its own
-  entry.bytes = entry.data.ByteSize();
-  entry.benefit = benefit;
-  entry.last_used = ++tick_;
+  entry->last_used = ++tick_;
 
-  if (entry.bytes > budget_bytes_) {
+  if (entry->bytes > budget_bytes_) {
     ++stats_.rejected;
     return false;
   }
-  Erase(key);  // replacing an existing entry frees its bytes first
+  EraseLocked(key);  // replacing an existing entry frees its bytes first
 
   // Benefit-weighted eviction: free space by dropping the lowest-benefit
   // residents (LRU within equal benefit), but never one whose benefit
   // meets or exceeds the newcomer's.
-  while (bytes_used_ + entry.bytes > budget_bytes_) {
+  while (bytes_used_ + entry->bytes > budget_bytes_) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (victim == entries_.end() ||
-          it->second.benefit < victim->second.benefit ||
-          (it->second.benefit == victim->second.benefit &&
-           it->second.last_used < victim->second.last_used)) {
+          it->second->benefit < victim->second->benefit ||
+          (it->second->benefit == victim->second->benefit &&
+           it->second->last_used < victim->second->last_used)) {
         victim = it;
       }
     }
-    if (victim == entries_.end() || victim->second.benefit >= benefit) {
+    if (victim == entries_.end() || victim->second->benefit >= benefit) {
       ++stats_.rejected;
       return false;
     }
-    bytes_used_ -= victim->second.bytes;
+    bytes_used_ -= victim->second->bytes;
     entries_.erase(victim);
     ++stats_.evictions;
   }
 
-  bytes_used_ += entry.bytes;
+  bytes_used_ += entry->bytes;
   entries_[key] = std::move(entry);
   ++stats_.admissions;
   return true;
 }
 
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  bytes_used_ = 0;
+}
+
+int64_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+int64_t ResultCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 int ResultCache::CountEntriesDependingOn(TableId table) const {
+  std::lock_guard<std::mutex> lock(mu_);
   int n = 0;
   for (const auto& [key, e] : entries_) {
-    for (const auto& [id, version] : e.deps) {
+    for (const auto& [id, version] : e->deps) {
       if (id == table) {
         ++n;
         break;
@@ -133,21 +160,23 @@ int ResultCache::CountEntriesDependingOn(TableId table) const {
 }
 
 int ResultCache::CountStale() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int n = 0;
   for (const auto& [key, e] : entries_) {
-    if (IsStale(e)) ++n;
+    if (IsStale(*e)) ++n;
   }
   return n;
 }
 
 int ResultCache::EvictStale() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> stale;
   for (const auto& [key, e] : entries_) {
-    if (IsStale(e)) stale.push_back(key);
+    if (IsStale(*e)) stale.push_back(key);
   }
   for (const std::string& key : stale) {
     ++stats_.invalidations;
-    Erase(key);
+    EraseLocked(key);
   }
   return static_cast<int>(stale.size());
 }

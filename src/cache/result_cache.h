@@ -16,11 +16,21 @@
 // cache holds a byte budget; eviction removes ascending-benefit entries
 // (ties broken LRU) and admission is refused rather than evicting
 // higher-benefit residents.
+//
+// Thread safety: all public methods are safe to call concurrently; an
+// internal mutex serializes lookup/admit/evict (lookups may therefore block
+// briefly behind an admission copying a large spool). Entries are
+// refcounted: Lookup returns a Pin (shared_ptr) that keeps the entry's
+// columns alive even if a concurrent admission evicts it or a version bump
+// invalidates it — eviction only drops the cache's reference, never frees
+// storage a running query still scans (DESIGN.md §13).
 #ifndef SUBSHARE_CACHE_RESULT_CACHE_H_
 #define SUBSHARE_CACHE_RESULT_CACHE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,21 +60,26 @@ class ResultCache {
   struct Entry {
     std::vector<std::pair<TableId, uint64_t>> deps;  // (table, version)
     Schema schema;
-    ColumnStore data;    // spooled result, columnar (install via AssignFrom)
+    ColumnStore data;    // spooled result, columnar; immutable after Admit
     double benefit = 0;  // C_E + C_W saved per hit
     int64_t bytes = 0;   // true columnar footprint (data.ByteSize())
-    uint64_t last_used = 0;
-    int64_t hits = 0;
+    uint64_t last_used = 0;  // recency/hit bookkeeping: touched only under
+    int64_t hits = 0;        // the cache mutex
   };
 
-  // Returns the entry for `key` if present and valid against current table
-  // versions; a stale entry is erased (counted as an invalidation) and
-  // nullptr returned. `count_stats` controls whether the probe counts as
-  // a hit/miss and refreshes recency — the executor (the authoritative
-  // consumer) passes true; optimizer validity probes pass false so one
-  // Execute() call counts each key at most once. Invalidations are always
-  // counted.
-  const Entry* Lookup(const std::string& key, bool count_stats = true);
+  // A pinned entry: holding one keeps schema/data valid regardless of
+  // concurrent eviction or invalidation. The refcount is the epoch — an
+  // entry dies when the cache AND every in-flight execution drop it.
+  using Pin = std::shared_ptr<const Entry>;
+
+  // Returns a pin on the entry for `key` if present and valid against
+  // current table versions; a stale entry is unlinked (counted as an
+  // invalidation) and nullptr returned. `count_stats` controls whether the
+  // probe counts as a hit/miss and refreshes recency — the executor (the
+  // authoritative consumer) passes true; optimizer validity probes pass
+  // false so one Execute() call counts each key at most once.
+  // Invalidations are always counted.
+  Pin Lookup(const std::string& key, bool count_stats = true);
 
   // Admits (or replaces) an entry, copying the spooled columns. Snapshots
   // current versions of `dep_tables` from the catalog. Returns false when
@@ -78,12 +93,12 @@ class ResultCache {
   bool Admit(const std::string& key, const std::vector<TableId>& dep_tables,
              Schema schema, const std::vector<Row>& rows, double benefit);
 
-  void Clear() { entries_.clear(); bytes_used_ = 0; }
+  void Clear();
 
-  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
-  int64_t bytes_used() const { return bytes_used_; }
+  int64_t size() const;
+  int64_t bytes_used() const;
   int64_t budget_bytes() const { return budget_bytes_; }
-  const ResultCacheStats& stats() const { return stats_; }
+  ResultCacheStats stats() const;  // consistent snapshot
 
   // --- test support ---
   // Entries (valid or stale) whose deps include `table`.
@@ -95,13 +110,14 @@ class ResultCache {
 
  private:
   bool IsStale(const Entry& e) const;
-  void Erase(const std::string& key);
+  void EraseLocked(const std::string& key);
 
   const Catalog* catalog_;
   int64_t budget_bytes_;
+  mutable std::mutex mu_;
   int64_t bytes_used_ = 0;
   uint64_t tick_ = 0;
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
   ResultCacheStats stats_;
 };
 

@@ -1,12 +1,13 @@
 #include "core/cse_optimizer.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <queue>
 
 #include "cache/result_cache.h"
 #include "core/cse_key.h"
 #include "optimizer/cost_model.h"
+#include "util/bitset64.h"
+#include "util/env_config.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -67,16 +68,14 @@ std::optional<EnumerationStrategy> ParseEnumerationStrategy(
 }
 
 EnumerationStrategy DefaultEnumerationStrategy() {
-  static const EnumerationStrategy kDefault = [] {
-    const char* env = std::getenv("SUBSHARE_ENUM_STRATEGY");
-    if (env != nullptr) {
-      if (auto parsed = ParseEnumerationStrategy(env); parsed.has_value()) {
-        return *parsed;
-      }
-    }
-    return EnumerationStrategy::kExhaustive;
-  }();
-  return kDefault;
+  // Snapshotted once per process (util/env_config) — safe under concurrent
+  // sessions. Per-session overrides go through
+  // CseOptimizerOptions::strategy, not the environment.
+  if (auto parsed = ParseEnumerationStrategy(ProcessEnv().enum_strategy);
+      parsed.has_value()) {
+    return *parsed;
+  }
+  return EnumerationStrategy::kExhaustive;
 }
 
 CseQueryOptimizer::CseQueryOptimizer(QueryContext* ctx,
@@ -294,6 +293,7 @@ PhysicalNodePtr CseQueryOptimizer::EnumerateExhaustive(
     CseMetrics* metrics) {
   PhysicalNodePtr best = normal_plan;
   *best_set = Bitset64();
+  OptTrace* trace = metrics != nullptr ? &metrics->trace : nullptr;
 
   // Independence matrix (Definition 5.2).
   std::vector<std::vector<bool>> independent(n, std::vector<bool>(n, true));
@@ -322,21 +322,38 @@ PhysicalNodePtr CseQueryOptimizer::EnumerateExhaustive(
   // singletons are promoted to run right after the full set: when the
   // optimization cap truncates the enumeration for large N, the cheap
   // single-candidate plans (the common winners) are still examined.
+  //
+  // Materializing all 2^n subsets is only feasible for small n; the
+  // candidate cap admits up to Bitset64::kMaxBits (64) of them. Past
+  // kFullSubsetBits the enumeration degrades gracefully to the prefix the
+  // optimization cap would reach anyway: the full set, every singleton,
+  // then every pair (still dominated by max_optimizations).
+  constexpr int kFullSubsetBits = 16;
   std::vector<uint64_t> subsets;
   uint64_t full = (n >= 64) ? ~0ULL : ((1ULL << n) - 1);
-  for (uint64_t s = 1; s <= full; ++s) subsets.push_back(s);
-  std::stable_sort(subsets.begin(), subsets.end(),
-                   [full](uint64_t a, uint64_t b) {
-                     auto rank = [full](uint64_t s) {
-                       if (s == full) return 1 << 20;
-                       int pop = __builtin_popcountll(s);
-                       if (pop == 1) return 1 << 19;  // promoted singletons
-                       return pop;
-                     };
-                     return rank(a) > rank(b);
-                   });
+  if (n <= kFullSubsetBits) {
+    for (uint64_t s = 1; s <= full; ++s) subsets.push_back(s);
+    std::stable_sort(subsets.begin(), subsets.end(),
+                     [full](uint64_t a, uint64_t b) {
+                       auto rank = [full](uint64_t s) {
+                         if (s == full) return 1 << 20;
+                         int pop = __builtin_popcountll(s);
+                         if (pop == 1) return 1 << 19;  // promoted singletons
+                         return pop;
+                       };
+                       return rank(a) > rank(b);
+                     });
+  } else {
+    subsets.push_back(full);
+    for (int i = 0; i < n; ++i) subsets.push_back(1ULL << i);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        subsets.push_back((1ULL << i) | (1ULL << j));
+      }
+    }
+    if (trace != nullptr) trace->enumeration_capped = true;
+  }
 
-  OptTrace* trace = metrics != nullptr ? &metrics->trace : nullptr;
   std::set<uint64_t> processed;
   auto apply_props = [&](uint64_t s, uint64_t used) {
     // Prop 5.6: the plan returned under S is also optimal under `used`.
@@ -344,8 +361,12 @@ PhysicalNodePtr CseQueryOptimizer::EnumerateExhaustive(
       ++trace->skipped_prop56;
     }
     // Props 5.4/5.5 for both S and used: any proper subset made only of
-    // the fully independent part can be skipped.
+    // the fully independent part can be skipped. Walking a base's subset
+    // chain is 2^popcount work — pointless (and ruinous) past the
+    // materialization bound above, where those subsets are never enumerated
+    // anyway.
     for (uint64_t base : {s, used}) {
+      if (__builtin_popcountll(base) > kFullSubsetBits) continue;
       uint64_t t = fully_independent_part(base);
       if (t == 0) continue;
       if (t == base) {
@@ -472,19 +493,29 @@ ExecutablePlan CseQueryOptimizer::Optimize(
   // Enumeration cap: keep the most promising candidates, ranked by the
   // §4.3.3-style net benefit estimate
   //   Σ_i C_i^lower  -  (max_i C_i^lower + C_W + N * C_R).
-  if (static_cast<int>(specs.size()) > options_.max_candidates) {
+  // The cap is hard-clamped to Bitset64::kMaxBits: candidate ids become
+  // bit positions in the enabled-set masks, so id >= 64 would shift out of
+  // the mask (UB). Overflow past the clamp is recorded as
+  // candidates_dropped so a large merged batch (Volcano-MQO-sized) is
+  // visible in the trace instead of silently truncated.
+  const int cap = std::min(options_.max_candidates, Bitset64::kMaxBits);
+  if (static_cast<int>(specs.size()) > cap) {
     std::stable_sort(specs.begin(), specs.end(),
                      [&](const CseSpec& a, const CseSpec& b) {
                        return generator.NetBenefit(a) >
                               generator.NetBenefit(b);
                      });
-    for (size_t i = options_.max_candidates; i < specs.size(); ++i) {
+    m->trace.candidates_dropped += static_cast<int64_t>(specs.size()) - cap;
+    for (size_t i = static_cast<size_t>(cap); i < specs.size(); ++i) {
+      const bool over_capacity = static_cast<int>(i) < options_.max_candidates;
       m->pruned_descriptions.push_back(specs[i].description +
                                        " -- dropped by enumeration cap");
-      m->trace.prunes.push_back({specs[i].description, "cap",
-                                 "lowest net benefit beyond max_candidates"});
+      m->trace.prunes.push_back(
+          {specs[i].description, "cap",
+           over_capacity ? "beyond Bitset64 capacity (64 candidates)"
+                         : "lowest net benefit beyond max_candidates"});
     }
-    specs.resize(options_.max_candidates);
+    specs.resize(static_cast<size_t>(cap));
   }
   m->candidates_after_pruning = static_cast<int>(specs.size());
   if (specs.empty()) return finish(normal_plan, Bitset64());

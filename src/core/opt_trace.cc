@@ -50,6 +50,10 @@ std::string OptTrace::ExplainTrace() const {
       out += "\n";
     }
   }
+  if (candidates_dropped > 0) {
+    out += StrFormat("candidates dropped at cap: %lld\n",
+                     static_cast<long long>(candidates_dropped));
+  }
 
   out += StrFormat("candidates materialized: %d\n",
                    static_cast<int>(candidates.size()));

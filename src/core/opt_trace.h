@@ -70,6 +70,10 @@ struct OptTrace {
   int64_t skipped_prop55 = 0;
   int64_t skipped_prop56 = 0;
   bool enumeration_capped = false;  // hit max_optimizations
+  // Candidates dropped at the enumeration cap (max_candidates, itself
+  // hard-clamped to Bitset64 capacity: candidate ids are mask bits, so at
+  // most 64 survive no matter what the option says).
+  int64_t candidates_dropped = 0;
   // Which strategy produced the enumeration steps above ("exhaustive",
   // "greedy", "approximate") — the chosen-set provenance.
   std::string strategy = "exhaustive";

@@ -1,21 +1,17 @@
 #include "exec/executor.h"
 
-#include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "util/check.h"
+#include "util/env_config.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace subshare {
 
-bool DefaultPrefetchEnabled() {
-  static const bool enabled = [] {
-    const char* v = std::getenv("SUBSHARE_PREFETCH");
-    return v == nullptr || std::string(v) != "0";
-  }();
-  return enabled;
-}
+bool DefaultPrefetchEnabled() { return ProcessEnv().prefetch; }
 
 std::string ExecutionMetrics::ExplainMetrics() const {
   std::string out = StrFormat(
@@ -82,10 +78,14 @@ std::vector<StatementResult> ExecutePlan(const ExecutablePlan& plan,
     ctx.phase = StrFormat("cse %d", cse.cse_id);
     WorkTable* wt = work_tables.Create(cse.cse_id, cse.spool_schema);
     if (options.result_cache != nullptr && !cse.cache_key.empty()) {
-      const cache::ResultCache::Entry* entry =
+      cache::ResultCache::Pin entry =
           options.result_cache->Lookup(cse.cache_key, /*count_stats=*/true);
       if (entry != nullptr) {
-        wt->AssignFrom(entry->data);  // copy: entry stays resident
+        // Zero-copy install: consumers scan the cached columns directly.
+        // The aliasing shared_ptr pins the whole entry, so a concurrent
+        // eviction or version bump cannot free the spool mid-scan.
+        wt->InstallShared(std::shared_ptr<const ColumnStore>(
+            entry, &entry->data));
         ++spools_recycled;
         spool_bytes += wt->columns().ByteSize();
         spool_bytes_row_model += RowModelBytes(wt->columns());

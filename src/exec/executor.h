@@ -22,9 +22,12 @@ struct StatementResult {
   std::vector<Row> rows;
 };
 
-// True unless SUBSHARE_PREFETCH=0 is set in the environment (read once).
+// True unless SUBSHARE_PREFETCH=0 is set in the environment (snapshotted
+// once per process by util/env_config — safe under concurrent sessions).
 // Default for ExecOptions::prefetch, so the knob reaches every execution —
-// including the differential fuzzer — without plumbing.
+// including the differential fuzzer — without plumbing. Per-session
+// overrides set ExecOptions::prefetch (via QueryOptions::exec) instead of
+// touching the environment.
 bool DefaultPrefetchEnabled();
 
 // Execution knobs, orthogonal to plan choice.

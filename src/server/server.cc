@@ -1,0 +1,93 @@
+#include "server/server.h"
+
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace subshare::server {
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db),
+      plan_cache_(&db->catalog(), options.plan_cache_keys,
+                  options.plan_cache_variants_per_key),
+      result_cache_(&db->catalog(), options.result_budget_bytes) {}
+
+std::unique_ptr<Session> Server::Connect(std::string name) {
+  int id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  if (name.empty()) name = StrFormat("session-%d", id);
+  live_sessions_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(this, id, std::move(name)));
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  s.statements_executed = statements_executed_.load(std::memory_order_relaxed);
+  s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  s.plan_rebinds = plan_rebinds_.load(std::memory_order_relaxed);
+  s.spools_recycled = spools_recycled_.load(std::memory_order_relaxed);
+  s.spools_admitted = spools_admitted_.load(std::memory_order_relaxed);
+  s.appends = appends_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Session::~Session() {
+  server_->live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+StatusOr<QueryResult> Session::ExecuteLocked(const std::string& sql,
+                                             const QueryOptions& options) {
+  StatusOr<QueryResult> result = server_->db_->ExecuteWith(
+      sql, options, &server_->plan_cache_, &server_->result_cache_);
+  if (result.ok()) {
+    const QueryResult& r = *result;
+    server_->batches_executed_.fetch_add(1, std::memory_order_relaxed);
+    server_->statements_executed_.fetch_add(
+        static_cast<int64_t>(r.statements.size()), std::memory_order_relaxed);
+    if (r.cache.plan_cache_hit) {
+      server_->plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (r.cache.plan_rebound) {
+      server_->plan_rebinds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    server_->spools_recycled_.fetch_add(r.cache.spools_recycled,
+                                        std::memory_order_relaxed);
+    server_->spools_admitted_.fetch_add(r.cache.spools_admitted,
+                                        std::memory_order_relaxed);
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Session::Execute(const std::string& sql,
+                                       const QueryOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(server_->data_mu_);
+  return ExecuteLocked(sql, options);
+}
+
+StatusOr<std::vector<QueryResult>> Session::ExecuteAtomic(
+    const std::vector<std::pair<std::string, QueryOptions>>& batches) {
+  std::shared_lock<std::shared_mutex> lock(server_->data_mu_);
+  std::vector<QueryResult> results;
+  results.reserve(batches.size());
+  for (const auto& [sql, options] : batches) {
+    ASSIGN_OR_RETURN(QueryResult r, ExecuteLocked(sql, options));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Status Session::Append(const std::string& table,
+                       const std::vector<Row>& rows) {
+  std::unique_lock<std::shared_mutex> lock(server_->data_mu_);
+  Table* t = server_->db_->catalog().GetTable(table);
+  if (t == nullptr) {
+    return Status::InvalidArgument("no such table: " + table);
+  }
+  // AppendRows bumps version() once per row — the mutation API contract
+  // every cache validity check relies on.
+  t->AppendRows(rows);
+  server_->appends_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace subshare::server

@@ -1,0 +1,154 @@
+// Multi-session embedded server: N concurrent clients against one Database.
+//
+// The Database facade is single-caller; this layer makes it serve
+// concurrent traffic (DESIGN.md §13). A Server wraps a loaded Database and
+// hands out Session objects, one per client thread. All sessions share:
+//
+//   - one plan cache and one CSE result recycler (both internally
+//     synchronized), so a batch shape optimized by any session serves every
+//     session, and a spool admitted by one client is recycled by the next —
+//     the paper's sharing machinery amortized across clients, not just
+//     across statements of one batch;
+//   - one reader/writer data lock over the catalog's table contents.
+//     Session::Execute holds it shared for the whole batch, so every
+//     (table, version) snapshot a batch takes — plan-cache validity checks,
+//     result-cache probes, admission snapshots — observes one frozen data
+//     state. Session::Append (the version-bumping mutation API) holds it
+//     exclusive; a mutation therefore cannot interleave with any batch, and
+//     "never serve a spool across a version bump" holds by construction.
+//
+// Spool lifetime under concurrency: a recycled spool is installed zero-copy
+// as a refcounted pin on the cache entry (ResultCache::Pin →
+// WorkTable::InstallShared). If another session's admission evicts the
+// entry, or a later append invalidates it, the cache merely drops its
+// reference — the scanning execution keeps the columns alive until it
+// closes, mirroring SortedIndex::Pin.
+//
+// Lock order (must never be taken in reverse): data lock → cache mutex.
+// Cache methods never touch the data lock; Execute acquires the data lock
+// before any cache call and releases it after execution completes.
+#ifndef SUBSHARE_SERVER_SERVER_H_
+#define SUBSHARE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/database.h"
+
+namespace subshare::server {
+
+struct ServerOptions {
+  // Applied to the shared caches at construction.
+  size_t plan_cache_keys = 256;
+  size_t plan_cache_variants_per_key = 4;
+  int64_t result_budget_bytes = cache::ResultCache::kDefaultBudgetBytes;
+};
+
+// Cumulative cross-session counters (atomics: sessions update them without
+// the data lock).
+struct ServerStats {
+  int64_t batches_executed = 0;
+  int64_t statements_executed = 0;
+  int64_t plan_hits = 0;      // exact + rebound plan-cache hits
+  int64_t plan_rebinds = 0;   // subset of plan_hits that rebound literals
+  int64_t spools_recycled = 0;
+  int64_t spools_admitted = 0;
+  int64_t appends = 0;        // mutation calls (exclusive-lock holds)
+};
+
+class Session;
+
+class Server {
+ public:
+  // `db` must outlive the Server and be fully loaded; DDL and LoadTpch are
+  // not covered by the data lock and must happen before serving starts.
+  explicit Server(Database* db, ServerOptions options = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Opens a session. Sessions are independent client handles: each may run
+  // on its own thread, but one Session must not be used from two threads at
+  // once. Sessions must not outlive the Server.
+  std::unique_ptr<Session> Connect(std::string name = {});
+
+  Database& database() { return *db_; }
+  cache::PlanCache& plan_cache() { return plan_cache_; }
+  cache::ResultCache& result_cache() { return result_cache_; }
+
+  ServerStats stats() const;
+  int live_sessions() const {
+    return live_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Session;
+
+  Database* db_;
+  // Reader/writer lock over table contents: batches shared, mutations
+  // exclusive. See the file comment for the snapshot argument.
+  std::shared_mutex data_mu_;
+  cache::PlanCache plan_cache_;
+  cache::ResultCache result_cache_;
+
+  std::atomic<int64_t> batches_executed_{0};
+  std::atomic<int64_t> statements_executed_{0};
+  std::atomic<int64_t> plan_hits_{0};
+  std::atomic<int64_t> plan_rebinds_{0};
+  std::atomic<int64_t> spools_recycled_{0};
+  std::atomic<int64_t> spools_admitted_{0};
+  std::atomic<int64_t> appends_{0};
+  std::atomic<int> next_session_id_{0};
+  std::atomic<int> live_sessions_{0};
+};
+
+// One client's handle. Execute/ExecuteAtomic take the data lock shared;
+// Append takes it exclusive. Not thread-safe itself — one thread per
+// session, many sessions per server.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Runs one batch under a shared data-lock hold, through the server's
+  // shared caches. Blocks while a mutation (any session's Append) holds the
+  // lock exclusively; may also block briefly on the cache mutexes.
+  StatusOr<QueryResult> Execute(const std::string& sql,
+                                const QueryOptions& options = {});
+
+  // Runs several batches under ONE shared data-lock hold: all of them
+  // observe the same frozen table state even with concurrent appenders.
+  // This is the snapshot primitive the multi-session differential checker
+  // uses to compare a cached CSE run against the naive reference.
+  StatusOr<std::vector<QueryResult>> ExecuteAtomic(
+      const std::vector<std::pair<std::string, QueryOptions>>& batches);
+
+  // Appends rows to a base table under an exclusive data-lock hold. The
+  // version bump invalidates dependent cache entries lazily (their next
+  // lookup misses); spools pinned by in-flight executions stay alive.
+  Status Append(const std::string& table, const std::vector<Row>& rows);
+
+ private:
+  friend class Server;
+  Session(Server* server, int id, std::string name)
+      : server_(server), id_(id), name_(std::move(name)) {}
+
+  // Shared implementation; caller holds the data lock (any mode).
+  StatusOr<QueryResult> ExecuteLocked(const std::string& sql,
+                                      const QueryOptions& options);
+
+  Server* server_;
+  int id_;
+  std::string name_;
+};
+
+}  // namespace subshare::server
+
+#endif  // SUBSHARE_SERVER_SERVER_H_

@@ -1,10 +1,51 @@
 #include "storage/string_dict.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
 namespace subshare {
+
+StringDictionary::StringDictionary(const StringDictionary& other) {
+  std::lock_guard<std::mutex> lock(other.order_mu_);
+  values_ = other.values_;
+  index_ = other.index_;
+  sorted_ = other.sorted_;
+  sorted_codes_ = other.sorted_codes_;
+  ranks_ = other.ranks_;
+}
+
+StringDictionary& StringDictionary::operator=(const StringDictionary& other) {
+  if (this == &other) return *this;
+  // Assignment mutates *this, so no concurrent reader may hold it; only the
+  // source can be mid-lazy-build on another thread.
+  std::lock_guard<std::mutex> lock(other.order_mu_);
+  values_ = other.values_;
+  index_ = other.index_;
+  sorted_ = other.sorted_;
+  sorted_codes_ = other.sorted_codes_;
+  ranks_ = other.ranks_;
+  return *this;
+}
+
+StringDictionary::StringDictionary(StringDictionary&& other) noexcept
+    : values_(std::move(other.values_)),
+      index_(std::move(other.index_)),
+      sorted_(other.sorted_),
+      sorted_codes_(std::move(other.sorted_codes_)),
+      ranks_(std::move(other.ranks_)) {}
+
+StringDictionary& StringDictionary::operator=(
+    StringDictionary&& other) noexcept {
+  if (this == &other) return *this;
+  values_ = std::move(other.values_);
+  index_ = std::move(other.index_);
+  sorted_ = other.sorted_;
+  sorted_codes_ = std::move(other.sorted_codes_);
+  ranks_ = std::move(other.ranks_);
+  return *this;
+}
 
 int32_t StringDictionary::Intern(const std::string& s) {
   auto it = index_.find(s);
@@ -24,7 +65,7 @@ int32_t StringDictionary::Find(const std::string& s) const {
   return it == index_.end() ? -1 : it->second;
 }
 
-void StringDictionary::EnsureSortedCodes() const {
+void StringDictionary::BuildSortedCodesLocked() const {
   if (!sorted_codes_.empty() || values_.empty()) return;
   sorted_codes_.resize(values_.size());
   for (int32_t c = 0; c < size(); ++c) sorted_codes_[c] = c;
@@ -32,10 +73,20 @@ void StringDictionary::EnsureSortedCodes() const {
             [this](int32_t a, int32_t b) { return values_[a] < values_[b]; });
 }
 
+void StringDictionary::EnsureSortedCodes() const {
+  // Serialize the lazy build: concurrent const readers (index builds, range
+  // predicates on the same frozen column) may race here. After the build
+  // the vectors are immutable until the next mutation, so callers read them
+  // lock-free.
+  std::lock_guard<std::mutex> lock(order_mu_);
+  BuildSortedCodesLocked();
+}
+
 const int32_t* StringDictionary::EnsureRanks() const {
   if (sorted_) return nullptr;
+  std::lock_guard<std::mutex> lock(order_mu_);
   if (ranks_.empty()) {
-    EnsureSortedCodes();
+    BuildSortedCodesLocked();
     ranks_.resize(values_.size());
     for (int32_t r = 0; r < size(); ++r) ranks_[sorted_codes_[r]] = r;
   }

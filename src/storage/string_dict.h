@@ -17,6 +17,7 @@
 #define SUBSHARE_STORAGE_STRING_DICT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,15 @@ namespace subshare {
 
 class StringDictionary {
  public:
+  StringDictionary() = default;
+  // Copies and moves transfer the dictionary contents but never the order
+  // mutex (each instance guards its own lazy structures). Cache admission
+  // copies ColumnStores wholesale, so these run on hot-ish paths.
+  StringDictionary(const StringDictionary& other);
+  StringDictionary& operator=(const StringDictionary& other);
+  StringDictionary(StringDictionary&& other) noexcept;
+  StringDictionary& operator=(StringDictionary&& other) noexcept;
+
   // Code of `s`, interning it if absent. Codes are dense [0, size()) in
   // insertion order; interning never changes existing codes.
   int32_t Intern(const std::string& s);
@@ -65,12 +75,20 @@ class StringDictionary {
 
  private:
   void EnsureSortedCodes() const;
+  // Build step shared by EnsureSortedCodes/EnsureRanks; caller holds
+  // order_mu_.
+  void BuildSortedCodesLocked() const;
 
   std::vector<std::string> values_;                  // code -> value
   std::unordered_map<std::string, int32_t> index_;   // value -> code
   bool sorted_ = true;  // vacuously true while empty
 
-  // Lazy order structures for the unsorted state; empty = stale.
+  // Lazy order structures for the unsorted state; empty = stale. The mutex
+  // serializes the build (concurrent const readers may race to populate
+  // them; the data itself is frozen while readers run — see the server's
+  // shared-data lock). Once built, the vectors are immutable until the next
+  // mutation, so returned pointers stay valid without holding the lock.
+  mutable std::mutex order_mu_;
   mutable std::vector<int32_t> sorted_codes_;  // codes in value order
   mutable std::vector<int32_t> ranks_;         // code -> rank
 };

@@ -215,8 +215,11 @@ void TableLoader::EndRow() {
 
 void Table::CommitMutation() {
   stats_valid_ = false;
-  if (!indexes_.empty()) indexes_stale_ = true;
-  ++version_;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (!indexes_.empty()) indexes_stale_ = true;
+  }
+  version_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Table::AppendRow(const Row& row) {
@@ -230,14 +233,17 @@ void Table::AppendRows(const std::vector<Row>& rows) {
 }
 
 void Table::Clear() {
-  for (auto& [col, index] : indexes_) {
-    DCHECK(index->pins() == 0);  // no consumer may hold spans across Clear
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    for (auto& [col, index] : indexes_) {
+      DCHECK(index->pins() == 0);  // no consumer may hold spans across Clear
+    }
+    indexes_.clear();
+    indexes_stale_ = false;
   }
   data_.Clear();
-  indexes_.clear();
-  indexes_stale_ = false;
   stats_valid_ = false;
-  ++version_;
+  version_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<Row> Table::MaterializeRows() const {
@@ -377,6 +383,7 @@ double ColumnStats::FractionAtMost(double v) const {
 
 void Table::CreateIndex(int column) {
   CHECK(column >= 0 && column < schema_.num_columns());
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = indexes_.find(column);
   // Rebuilding over a pinned index would dangle the consumer's spans.
   if (it != indexes_.end()) DCHECK(it->second->pins() == 0);
@@ -384,6 +391,12 @@ void Table::CreateIndex(int column) {
 }
 
 const SortedIndex* Table::GetIndex(int column) const {
+  // index_mu_ covers both the staleness check/rebuild and the map lookup:
+  // two sessions racing GetIndex after an append must not both rebuild, and
+  // neither may observe the map mid-rebuild. The returned pointer outlives
+  // the lock — rebuilds only happen after a mutation, and mutations require
+  // exclusive data access (no readers live).
+  std::lock_guard<std::mutex> lock(index_mu_);
   if (indexes_stale_) {
     for (auto& [col, index] : indexes_) {
       // Append-triggered lazy rebuild under a live consumer: the consumer's

@@ -2,8 +2,10 @@
 #ifndef SUBSHARE_STORAGE_TABLE_H_
 #define SUBSHARE_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -79,7 +81,9 @@ class SortedIndex {
    public:
     Pin() = default;
     explicit Pin(const SortedIndex* index) : index_(index) {
-      if (index_ != nullptr) ++index_->pins_;
+      if (index_ != nullptr) {
+        index_->pins_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     Pin(Pin&& other) noexcept : index_(std::exchange(other.index_, nullptr)) {}
     Pin& operator=(Pin&& other) noexcept {
@@ -93,14 +97,14 @@ class SortedIndex {
     Pin& operator=(const Pin&) = delete;
     ~Pin() { Release(); }
     void Release() {
-      if (index_ != nullptr) --index_->pins_;
+      if (index_ != nullptr) index_->pins_.fetch_sub(1, std::memory_order_relaxed);
       index_ = nullptr;
     }
 
    private:
     const SortedIndex* index_ = nullptr;
   };
-  int pins() const { return pins_; }
+  int pins() const { return pins_.load(std::memory_order_relaxed); }
 
  private:
   // Count of cells `c` with c < v (or c <= v when `or_equal`), i.e. the
@@ -120,7 +124,9 @@ class SortedIndex {
   ImplicitBTree<int64_t> int_tree_;
   ImplicitBTree<double> double_tree_;
   ImplicitBTree<int32_t> rank_tree_;  // string: dictionary-rank keys
-  mutable int pins_ = 0;
+  // Atomic: concurrent readers (index NL joins on different sessions) pin
+  // and release the same index; the count is an audit, not a lock.
+  mutable std::atomic<int> pins_{0};
 };
 
 class Table;
@@ -177,8 +183,11 @@ class Table {
   // Monotonic content version: bumped on every mutation (append, clear,
   // TableLoader::EndRow). Cross-batch caches snapshot (id, version) pairs
   // and treat any mismatch as an invalidation; the counter never decreases
-  // and never repeats.
-  uint64_t version() const { return version_; }
+  // and never repeats. Atomic so a concurrent append + cache probe is
+  // well-defined; bumps are relaxed, reads acquire. Ordering between a
+  // mutation's data writes and a reader's probe comes from the server's
+  // shared-data lock, not from this counter.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   // Recomputes row count, min/max and exact NDV per column, and re-codes
   // string dictionaries into value order (code order = value order until
@@ -208,8 +217,12 @@ class Table {
   ColumnStore data_;
   TableStats stats_;
   bool stats_valid_ = false;
-  uint64_t version_ = 0;
+  std::atomic<uint64_t> version_{0};
   // Mutable: GetIndex() is logically const but rebuilds stale indexes.
+  // index_mu_ serializes the lazy rebuild and the map access against
+  // concurrent readers; a returned SortedIndex* stays valid until the next
+  // mutation (which may only run with no readers live).
+  mutable std::mutex index_mu_;
   mutable std::map<int, std::unique_ptr<SortedIndex>> indexes_;
   mutable bool indexes_stale_ = false;
 };

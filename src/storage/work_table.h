@@ -5,15 +5,26 @@
 // CSE once into a WorkTable; SpoolScan operators then read it. Storage is
 // column-major (storage/column_store.h), so spooled strings are dictionary
 // compressed and SpoolScan gets the same columnar fast path as base tables.
+//
+// A work table holds its rows in one of two ways:
+//   - owned: rows appended by the spool evaluation (data_), or
+//   - shared: a pinned, immutable ColumnStore installed wholesale from the
+//     CSE result recycler (InstallShared). The shared_ptr IS the spool's
+//     lifetime pin — typically an aliasing pointer into a refcounted cache
+//     entry, so a concurrent eviction or version bump drops the cache's
+//     reference but cannot free storage this execution is still scanning
+//     (the work-table analog of SortedIndex::Pin).
 #ifndef SUBSHARE_STORAGE_WORK_TABLE_H_
 #define SUBSHARE_STORAGE_WORK_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 
 #include "storage/column_store.h"
 #include "types/schema.h"
 #include "types/value.h"
+#include "util/check.h"
 
 namespace subshare {
 
@@ -23,38 +34,60 @@ class WorkTable {
       : schema_(std::move(schema)), data_(schema_) {}
 
   const Schema& schema() const { return schema_; }
-  const ColumnStore& columns() const { return data_; }
-  int64_t row_count() const { return data_.num_rows(); }
+  const ColumnStore& columns() const { return shared_ ? *shared_ : data_; }
+  int64_t row_count() const { return columns().num_rows(); }
 
-  void GetRow(int64_t i, Row* out) const { data_.GetRow(i, out); }
-  Row GetRow(int64_t i) const { return data_.GetRow(i); }
+  void GetRow(int64_t i, Row* out) const { columns().GetRow(i, out); }
+  Row GetRow(int64_t i) const { return columns().GetRow(i); }
 
-  // Monotonic content version, mirroring Table::version().
-  uint64_t version() const { return version_; }
+  // Monotonic content version, mirroring Table::version(). Atomic for the
+  // same reason (well-defined under a concurrent probe), though work tables
+  // are per-execution and rarely shared.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   void AppendRow(const Row& row) {
+    DCHECK(shared_ == nullptr);  // install-once: no appends after a recycle
     data_.AppendRow(row);
-    ++version_;
+    version_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Appends `n` rows (the batched spool-write path: one call per RowBatch
   // instead of per row).
   void AppendBatch(const Row* rows, int64_t n) {
+    DCHECK(shared_ == nullptr);
     for (int64_t i = 0; i < n; ++i) data_.AppendRow(rows[i]);
-    version_ += static_cast<uint64_t>(n);
+    version_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
   }
 
-  // Installs a recycled cache artifact wholesale (cache hit: the spool is
-  // the cached columns, no re-evaluation).
+  // Installs a recycled cache artifact wholesale, copying the columns
+  // (pre-pin code path; kept for tests and callers without a refcounted
+  // source).
   void AssignFrom(const ColumnStore& store) {
+    DCHECK(shared_ == nullptr);
     data_ = store;
-    version_ += static_cast<uint64_t>(store.num_rows()) + 1;
+    version_.fetch_add(static_cast<uint64_t>(store.num_rows()) + 1,
+                       std::memory_order_relaxed);
   }
+
+  // Installs a recycled cache artifact zero-copy: consumers scan the cached
+  // columns directly, and the shared_ptr pins the backing entry alive for
+  // this work table's lifetime even if the cache evicts it concurrently.
+  // The store must be fully materialized and immutable (same contract fused
+  // scans rely on). Install-once: no appends may follow.
+  void InstallShared(std::shared_ptr<const ColumnStore> store) {
+    DCHECK(shared_ == nullptr && data_.num_rows() == 0);
+    CHECK(store != nullptr);
+    shared_ = std::move(store);
+    version_.fetch_add(static_cast<uint64_t>(shared_->num_rows()) + 1,
+                       std::memory_order_relaxed);
+  }
+  bool recycled_shared() const { return shared_ != nullptr; }
 
  private:
   Schema schema_;
   ColumnStore data_;
-  uint64_t version_ = 0;
+  std::shared_ptr<const ColumnStore> shared_;  // set: rows live in the cache
+  std::atomic<uint64_t> version_{0};
 };
 
 // Keyed by candidate-CSE id for the duration of one batch execution.

@@ -59,8 +59,8 @@ bool SameMultiset(const std::vector<Row>& a, const std::vector<Row>& b,
   return true;
 }
 
-// Largest "rows=N" operator estimate in a rendered plan; the pre-screen
-// bound on how much work a differential run of the batch can take.
+}  // namespace
+
 int64_t MaxEstimatedRows(const std::string& plan_text) {
   int64_t max_rows = 0;
   size_t pos = 0;
@@ -92,8 +92,6 @@ bool SameResults(const QueryResult& a, const QueryResult& b,
   }
   return true;
 }
-
-}  // namespace
 
 CacheDifferentialTester::CacheDifferentialTester(Database* db, uint64_t seed,
                                                  CacheDiffOptions options)

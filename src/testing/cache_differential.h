@@ -23,6 +23,16 @@
 
 namespace subshare::testing {
 
+// Order-insensitive, epsilon-tolerant comparison of two executions' result
+// multisets, statement by statement. Shared by the cache-mode checker and
+// the multi-session checker (testing/multi_session.h).
+bool SameResults(const QueryResult& a, const QueryResult& b,
+                 std::string* why);
+
+// Largest "rows=N" operator estimate in a rendered plan text; the
+// pre-screen bound on how much work a differential run of a batch can take.
+int64_t MaxEstimatedRows(const std::string& plan_text);
+
 struct CacheDiffOptions {
   CseOptimizerOptions cse;  // options for the CSE configurations
   int64_t result_budget_bytes = cache::ResultCache::kDefaultBudgetBytes;

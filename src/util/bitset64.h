@@ -12,6 +12,12 @@ namespace subshare {
 
 class Bitset64 {
  public:
+  // Capacity ceiling. Producers of member indexes (the CSE candidate cap,
+  // the join enumerator) must clamp to this BEFORE building masks: a raw
+  // `1ULL << i` with i >= 64 is undefined behavior, and Bit() below CHECKs
+  // rather than relying on callers.
+  static constexpr int kMaxBits = 64;
+
   constexpr Bitset64() : bits_(0) {}
   constexpr explicit Bitset64(uint64_t bits) : bits_(bits) {}
 
@@ -50,7 +56,7 @@ class Bitset64 {
 
  private:
   static uint64_t Bit(int i) {
-    CHECK(i >= 0 && i < 64);
+    CHECK(i >= 0 && i < kMaxBits);
     return uint64_t{1} << i;
   }
   uint64_t bits_;

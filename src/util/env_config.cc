@@ -1,0 +1,22 @@
+#include "util/env_config.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace subshare {
+
+const EnvConfig& ProcessEnv() {
+  static EnvConfig config;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* v = std::getenv("SUBSHARE_PREFETCH")) {
+      config.prefetch = std::string(v) != "0";
+    }
+    if (const char* v = std::getenv("SUBSHARE_ENUM_STRATEGY")) {
+      config.enum_strategy = v;
+    }
+  });
+  return config;
+}
+
+}  // namespace subshare

@@ -1,0 +1,41 @@
+// Process-wide configuration read from the environment exactly once.
+//
+// Before the multi-session server existed, knobs like SUBSHARE_PREFETCH and
+// SUBSHARE_ENUM_STRATEGY were read through function-local statics scattered
+// across subsystems. With N session threads the first reads race static
+// initialization across translation units, and a knob consulted "sometimes
+// from the environment, sometimes from options" is impossible to reason
+// about per session. The rules now:
+//
+//   - ProcessEnv() snapshots every SUBSHARE_* knob exactly once per process
+//     (std::call_once) and is safe to call from any thread. getenv() is
+//     never called again after the snapshot; setenv() after the first query
+//     has no effect.
+//   - Per-session / per-query overrides go through QueryOptions
+//     (ExecOptions::prefetch, CseOptimizerOptions::strategy), never the
+//     environment. ProcessEnv() only supplies the process-wide DEFAULT those
+//     option structs are initialized with.
+#ifndef SUBSHARE_UTIL_ENV_CONFIG_H_
+#define SUBSHARE_UTIL_ENV_CONFIG_H_
+
+#include <string>
+
+namespace subshare {
+
+struct EnvConfig {
+  // SUBSHARE_PREFETCH: unset or != "0" means software prefetching (AMAC
+  // probes, B-tree child prefetch) is on.
+  bool prefetch = true;
+  // SUBSHARE_ENUM_STRATEGY: "exhaustive" | "greedy" | "approximate"; empty
+  // means unset (callers fall back to their own default). Parsed by
+  // ParseEnumerationStrategy at the use site so util stays dependency-free.
+  std::string enum_strategy;
+};
+
+// The immutable process snapshot; first call initializes it, later calls
+// (from any thread) return the same object.
+const EnvConfig& ProcessEnv();
+
+}  // namespace subshare
+
+#endif  // SUBSHARE_UTIL_ENV_CONFIG_H_

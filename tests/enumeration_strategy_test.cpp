@@ -14,6 +14,8 @@
 
 #include "core/cse_optimizer.h"
 #include "exec/executor.h"
+#include "util/bitset64.h"
+#include "util/string_util.h"
 #include "sql/binder.h"
 #include "testing/differential.h"
 #include "tpch/tpch.h"
@@ -213,6 +215,88 @@ TEST_P(StrategyParamTest, ExplainTraceLabelsStrategy) {
       accepted |= step.note.find("[accepted]") != std::string::npos;
     }
     EXPECT_TRUE(accepted);
+  }
+}
+
+// A batch whose candidate generation exceeds Bitset64 capacity: 68 distinct
+// (table pair, join condition) combos, each shared by two statements whose
+// filters differ. Same table set + different join columns are join-
+// incompatible (Definition 4.1), so every combo is its own compatible set
+// and yields its own candidate with heuristics off.
+std::string OverCapacityBatch() {
+  struct Side {
+    const char* table;
+    std::vector<const char*> cols;
+  };
+  Side orders{"orders", {"o_orderkey", "o_custkey", "o_shippriority"}};
+  Side lineitem{"lineitem",
+                {"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber"}};
+  Side customer{"customer", {"c_custkey", "c_nationkey"}};
+  Side part{"part", {"p_partkey", "p_size"}};
+  Side supplier{"supplier", {"s_suppkey", "s_nationkey"}};
+  Side partsupp{"partsupp", {"ps_partkey", "ps_suppkey", "ps_availqty"}};
+  Side nation{"nation", {"n_nationkey", "n_regionkey"}};
+  Side region{"region", {"r_regionkey"}};
+  std::vector<std::pair<Side, Side>> pairs = {
+      {orders, lineitem},   {customer, orders},  {part, lineitem},
+      {supplier, lineitem}, {customer, lineitem}, {part, partsupp},
+      {supplier, partsupp}, {customer, nation},  {supplier, nation},
+      {nation, region},     {orders, partsupp}};
+  std::string sql;
+  int combos = 0;
+  for (const auto& [a, b] : pairs) {
+    for (const char* ca : a.cols) {
+      for (const char* cb : b.cols) {
+        if (combos >= 68) break;
+        int f = 40 + combos * 3;
+        for (int rep = 0; rep < 2; ++rep) {
+          sql += StrFormat(
+              "select sum(%s) as s from %s, %s where %s = %s and %s < %d; ",
+              cb, a.table, b.table, ca, cb, a.cols[0], f + rep * 7);
+        }
+        ++combos;
+      }
+    }
+  }
+  sql.resize(sql.size() - 2);
+  return sql;
+}
+
+TEST_P(StrategyParamTest, CandidateClampBeyondBitsetCapacity) {
+  // A batch generating more than Bitset64::kMaxBits candidates must clamp
+  // at generation — lowest net benefit dropped first, trace noting each —
+  // rather than overflow the enabled-set masks.
+  std::string sql = OverCapacityBatch();
+
+  QueryContext ctx(catalog_);
+  auto stmts = sql::BindSql(sql, &ctx);
+  ASSERT_TRUE(stmts.ok());
+  CseOptimizerOptions options;
+  options.strategy = GetParam();
+  options.max_candidates = 1000;  // only the capacity clamp may engage
+  options.enable_heuristics = false;
+  CseQueryOptimizer optimizer(&ctx, options);
+  CseMetrics metrics;
+  ExecutablePlan plan = optimizer.Optimize(*stmts, &metrics);
+
+  EXPECT_GT(metrics.candidates_generated, Bitset64::kMaxBits);
+  EXPECT_GT(metrics.trace.candidates_dropped, 0);
+  EXPECT_LE(metrics.candidates_after_pruning, Bitset64::kMaxBits);
+  EXPECT_NE(metrics.trace.ExplainTrace().find("candidates dropped at cap"),
+            std::string::npos);
+  EXPECT_EQ(testing::PlanInvariantViolation(plan), "");
+
+  auto results = ExecutePlan(plan);
+  QueryContext ref_ctx(catalog_);
+  auto ref_stmts = sql::BindSql(sql, &ref_ctx);
+  ASSERT_TRUE(ref_stmts.ok());
+  CseOptimizerOptions off;
+  off.enable_cse = false;
+  CseQueryOptimizer ref(&ref_ctx, off);
+  auto ref_results = ExecutePlan(ref.Optimize(*ref_stmts));
+  ASSERT_EQ(results.size(), ref_results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(Canon(results[i].rows), Canon(ref_results[i].rows));
   }
 }
 
